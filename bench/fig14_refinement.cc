@@ -1,0 +1,40 @@
+// Reproduces Figure 14: Error_count of the overall query progress under
+// (a) the Total-GetNext model without refinement ("No Refinement"),
+// (b) TGN with Appendix A cardinality bounding only ("Bounding only"),
+// (c) the driver-node estimator with online refinement + bounding
+//     ("Bounding + Refinement"),
+// across the five workloads of §5. An extra column shows the prior-work [22]
+// linear-interpolation refinement as an ablation (DESIGN.md §5).
+//
+// Expected shape (paper, Fig. 14): (c) < (b) < (a) on every workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  std::vector<EstimatorConfig> configs;
+  configs.push_back({"No Refinement", EstimatorOptions::TotalGetNext()});
+  configs.push_back({"Bounding only", EstimatorOptions::BoundingOnly()});
+  configs.push_back(
+      {"Bounding+Refinement", EstimatorOptions::DriverNodeRefined()});
+  EstimatorOptions interp = EstimatorOptions::DriverNodeRefined();
+  interp.interpolate_refinement = true;
+  configs.push_back({"(ablation) interp [22]", interp});
+
+  std::printf("Figure 14: effect of cardinality refinement on Error_count\n");
+  std::printf("bench scale = %.2f\n", BenchScale());
+  auto workloads = MakeAllWorkloads();
+  std::vector<WorkloadResult> results;
+  for (Workload& w : workloads) {
+    std::printf("running %s (%zu queries)...\n", w.name.c_str(),
+                w.queries.size());
+    results.push_back(EvaluateWorkload(w, configs));
+  }
+  PrintErrorTable("=== Figure 14 (Error_count per workload) ===",
+                  "Error_count", results, configs, /*use_time_metric=*/false);
+  return 0;
+}

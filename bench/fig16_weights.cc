@@ -1,0 +1,45 @@
+// Reproduces Figure 16: Error_time of the overall query progress with and
+// without the §4.6 operator/pipeline weights, across the five workloads.
+// An extra ablation column restricts the weighted aggregate to the critical
+// path (§4.6 / DESIGN.md §5).
+//
+// Expected shape (paper, Fig. 16): weighting reduces Error_time on every
+// workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  EstimatorOptions weighted = EstimatorOptions::Lqs();
+  EstimatorOptions unweighted = EstimatorOptions::Lqs();
+  unweighted.use_weights = false;
+  EstimatorOptions critical = EstimatorOptions::Lqs();
+  critical.critical_path_only = true;
+  // §7(a) extension: weights re-evaluated with refined cardinalities
+  // propagated across pipeline boundaries.
+  EstimatorOptions propagated = EstimatorOptions::Lqs();
+  propagated.propagate_refinement = true;
+
+  std::vector<EstimatorConfig> configs;
+  configs.push_back({"With Weight", weighted});
+  configs.push_back({"Without Weight", unweighted});
+  configs.push_back({"(ablation) crit-path", critical});
+  configs.push_back({"(ext) +propagation", propagated});
+
+  std::printf("Figure 16: effect of operator weights on Error_time\n");
+  std::printf("bench scale = %.2f\n", BenchScale());
+  auto workloads = MakeAllWorkloads();
+  std::vector<WorkloadResult> results;
+  for (Workload& w : workloads) {
+    std::printf("running %s (%zu queries)...\n", w.name.c_str(),
+                w.queries.size());
+    results.push_back(EvaluateWorkload(w, configs));
+  }
+  PrintErrorTable("=== Figure 16 (Error_time per workload) ===", "Error_time",
+                  results, configs, /*use_time_metric=*/true);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 17: per-operator Error_time for the blocking operators
+// (Hash Match, Sort) under the output-only progress model vs the §4.5
+// two-phase (input + output) model, aggregated over all five workloads.
+//
+// Expected shape (paper, Fig. 17): the two-phase model noticeably reduces
+// the error for both operator families, while meaningful error remains.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  EstimatorOptions output_only = EstimatorOptions::Lqs();
+  output_only.two_phase_blocking = false;
+  EstimatorOptions two_phase = EstimatorOptions::Lqs();
+
+  std::vector<EstimatorConfig> configs;
+  configs.push_back({"Output Ni only", output_only});
+  configs.push_back({"Input+Output Ni", two_phase});
+
+  std::printf("Figure 17: two-phase model for blocking operators\n");
+  std::printf("bench scale = %.2f\n", BenchScale());
+  auto workloads = MakeAllWorkloads();
+  std::vector<WorkloadResult> results;
+  for (Workload& w : workloads) {
+    std::printf("running %s (%zu queries)...\n", w.name.c_str(),
+                w.queries.size());
+    results.push_back(EvaluateWorkload(w, configs));
+  }
+
+  // Full per-operator table (the figure shows Hash Match and Sort).
+  PrintPerOperatorTable(
+      "=== Figure 17 (per-operator Error_time; see Hash Match / Sort rows) "
+      "===",
+      results, configs, /*use_time_metric=*/true);
+
+  // Focused summary matching the figure's two bars.
+  double err[2][2] = {{0, 0}, {0, 0}};
+  int cnt[2][2] = {{0, 0}, {0, 0}};
+  for (const auto& r : results) {
+    for (size_t c = 0; c < configs.size(); ++c) {
+      for (const auto& [type, cell] : r.op_time_error[c]) {
+        int family = -1;
+        if (type == OpType::kHashAggregate || type == OpType::kHashJoin) {
+          family = 0;  // "Hash Match"
+        } else if (IsSortFamily(type)) {
+          family = 1;  // "Sort"
+        }
+        if (family < 0) continue;
+        err[family][c] += cell.first;
+        cnt[family][c] += cell.second;
+      }
+    }
+  }
+  std::printf("\n=== Figure 17 summary ===\n");
+  std::printf("%-12s %18s %18s\n", "operator", "Output Ni only",
+              "Input+Output Ni");
+  const char* names[2] = {"Hash Match", "Sort"};
+  for (int f = 0; f < 2; ++f) {
+    std::printf("%-12s %18.4f %18.4f\n", names[f],
+                cnt[f][0] ? err[f][0] / cnt[f][0] : 0.0,
+                cnt[f][1] ? err[f][1] / cnt[f][1] : 0.0);
+  }
+  return 0;
+}

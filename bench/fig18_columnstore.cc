@@ -1,0 +1,48 @@
+// Reproduces Figure 18: average Error_time for the TPC-H workload under two
+// physical designs — a DTA-like rowstore index set vs nonclustered
+// columnstore indexes on every table (§5.4).
+//
+// Expected shape (paper, Fig. 18): the columnstore design reduces the
+// average error significantly.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  std::vector<EstimatorConfig> configs;
+  configs.push_back({"LQS", EstimatorOptions::Lqs()});
+
+  std::printf("Figure 18: Error_time with and without columnstore indexes\n");
+  std::printf("bench scale = %.2f\n", BenchScale());
+
+  std::vector<WorkloadResult> results;
+  for (PhysicalDesign design :
+       {PhysicalDesign::kRowstore, PhysicalDesign::kColumnstore}) {
+    TpchOptions opt;
+    opt.scale = BenchScale();
+    opt.design = design;
+    auto w = MakeTpchWorkload(opt);
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   w.status().ToString().c_str());
+      return 1;
+    }
+    OptimizerOptions optimizer;
+    optimizer.selectivity_error = kBenchSelectivityError;
+    Status s = AnnotateWorkload(&w.value(), optimizer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "annotate failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("running %s (%zu queries)...\n", w->name.c_str(),
+                w->queries.size());
+    results.push_back(EvaluateWorkload(w.value(), configs));
+  }
+  PrintErrorTable("=== Figure 18 (average Error_time, TPC-H designs) ===",
+                  "Error_time", results, configs, /*use_time_metric=*/true);
+  return 0;
+}

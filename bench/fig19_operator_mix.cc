@@ -1,0 +1,50 @@
+// Reproduces Figure 19: operator frequency across the TPC-H workload's query
+// plans under the rowstore (DTA-like) vs columnstore physical designs.
+//
+// Expected shape (paper, Fig. 19): the rowstore design shows a wide operator
+// mix (seeks, nested loops, merge joins...); the columnstore design
+// concentrates on Columnstore Index Scans and Hash Joins/Aggregates.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  std::printf("Figure 19: operator distribution per physical design\n");
+
+  std::map<OpType, int> counts[2];
+  const char* names[2] = {"TPC-H (rowstore)", "TPC-H ColumnStore"};
+  for (int d = 0; d < 2; ++d) {
+    TpchOptions opt;
+    opt.scale = 0.05;  // plan shape only; data size irrelevant here
+    opt.design =
+        d == 0 ? PhysicalDesign::kRowstore : PhysicalDesign::kColumnstore;
+    auto w = MakeTpchWorkload(opt);
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   w.status().ToString().c_str());
+      return 1;
+    }
+    for (const WorkloadQuery& q : w->queries) {
+      q.plan.root->Visit(
+          [&](const PlanNode& n) { counts[d][n.type]++; });
+    }
+  }
+
+  std::printf("\n=== Figure 19 (operator counts over the 22 TPC-H plans) ===\n");
+  std::printf("%-30s %20s %20s\n", "operator", names[0], names[1]);
+  std::map<OpType, int> all;
+  for (int d = 0; d < 2; ++d) {
+    for (auto& [t, c] : counts[d]) all[t] += c;
+  }
+  for (auto& [type, total] : all) {
+    (void)total;
+    std::printf("%-30s %20d %20d\n", OpTypeName(type), counts[0][type],
+                counts[1][type]);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 20: per-operator Error_time for the TPC-H workload under
+// the rowstore vs columnstore physical designs (§5.4).
+//
+// Expected shape (paper, Fig. 20): per-operator error drops for the
+// operators that appear in the columnstore design.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace lqs;        // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  std::vector<EstimatorConfig> configs;
+  configs.push_back({"LQS", EstimatorOptions::Lqs()});
+
+  std::printf("Figure 20: per-operator Error_time per physical design\n");
+  std::printf("bench scale = %.2f\n", BenchScale());
+
+  std::vector<WorkloadResult> results;
+  for (PhysicalDesign design :
+       {PhysicalDesign::kRowstore, PhysicalDesign::kColumnstore}) {
+    TpchOptions opt;
+    opt.scale = BenchScale();
+    opt.design = design;
+    auto w = MakeTpchWorkload(opt);
+    if (!w.ok()) return 1;
+    OptimizerOptions optimizer;
+    optimizer.selectivity_error = kBenchSelectivityError;
+    if (!AnnotateWorkload(&w.value(), optimizer).ok()) return 1;
+    std::printf("running %s...\n", w->name.c_str());
+    results.push_back(EvaluateWorkload(w.value(), configs));
+  }
+
+  // Render the two designs as two columns of one per-operator table.
+  std::printf("\n=== Figure 20 (per-operator Error_time) ===\n");
+  std::printf("%-30s %22s %22s\n", "operator", "TPC-H (rowstore)",
+              "TPC-H ColumnStore");
+  std::map<OpType, std::pair<double, int>> row = results[0].op_time_error[0];
+  std::map<OpType, std::pair<double, int>> col = results[1].op_time_error[0];
+  std::map<OpType, bool> all;
+  for (auto& [t, c] : row) all[t] = true;
+  for (auto& [t, c] : col) all[t] = true;
+  for (auto& [type, unused] : all) {
+    (void)unused;
+    auto fmt = [](const std::map<OpType, std::pair<double, int>>& m,
+                  OpType t) -> double {
+      auto it = m.find(t);
+      if (it == m.end() || it->second.second == 0) return 0.0;
+      return it->second.first / it->second.second;
+    };
+    std::printf("%-30s %22.4f %22.4f\n", OpTypeName(type), fmt(row, type),
+                fmt(col, type));
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks of the client-side estimator itself (google-benchmark):
+// LQS polls the DMV every 500 ms (§2.2), so one Estimate() call per query
+// per tick must be far below that budget. Measures progress estimation,
+// bounds computation and plan analysis on a representative multi-join plan.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "lqs/bounds.h"
+#include "lqs/estimator.h"
+
+namespace {
+
+using namespace lqs;        // NOLINT
+using namespace lqs::bench;  // NOLINT
+
+struct Fixture {
+  Workload workload;
+  Plan* plan = nullptr;
+  ProfileSnapshot snapshot;
+
+  static Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      TpchOptions opt;
+      opt.scale = 0.1;
+      auto w = MakeTpchWorkload(opt);
+      if (!w.ok()) std::abort();
+      fx->workload = std::move(w).value();
+      OptimizerOptions oo;
+      if (!AnnotateWorkload(&fx->workload, oo).ok()) std::abort();
+      // q05 is the widest plan (6-way join with bitmap).
+      for (auto& q : fx->workload.queries) {
+        if (q.name == "q05") fx->plan = &q.plan;
+      }
+      ExecOptions exec;
+      exec.snapshot_interval_ms = 5.0;
+      auto run = ExecuteQuery(*fx->plan, fx->workload.catalog.get(), exec);
+      if (!run.ok() || run->trace.snapshots.empty()) std::abort();
+      fx->snapshot = run->trace.snapshots[run->trace.snapshots.size() / 2];
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_EstimateFullLqs(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                        EstimatorOptions::Lqs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(f.snapshot));
+  }
+}
+BENCHMARK(BM_EstimateFullLqs);
+
+void BM_EstimateTgn(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                        EstimatorOptions::TotalGetNext());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(f.snapshot));
+  }
+}
+BENCHMARK(BM_EstimateTgn);
+
+void BM_ComputeBounds(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeBounds(*f.plan, *f.workload.catalog, f.snapshot));
+  }
+}
+BENCHMARK(BM_ComputeBounds);
+
+void BM_AnalyzePlan(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzePlan(*f.plan));
+  }
+}
+BENCHMARK(BM_AnalyzePlan);
+
+void BM_EstimatorConstruction(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                          EstimatorOptions::Lqs());
+    benchmark::DoNotOptimize(&est);
+  }
+}
+BENCHMARK(BM_EstimatorConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

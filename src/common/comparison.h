@@ -1,0 +1,43 @@
+#ifndef LQS_COMMON_COMPARISON_H_
+#define LQS_COMMON_COMPARISON_H_
+
+#include <cstdint>
+
+namespace lqs {
+
+/// Comparison operators usable in predicates. Shared between the expression
+/// evaluator (exec), the statistics-based selectivity estimator (optimizer)
+/// and columnstore segment elimination (storage).
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// Applies `op` to a three-way comparison result (as from Value::Compare).
+inline bool ApplyCompareOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_COMPARISON_H_

@@ -1,0 +1,144 @@
+#include "common/op_type.h"
+
+namespace lqs {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kTableScan:
+      return "Table Scan";
+    case OpType::kClusteredIndexScan:
+      return "Clustered Index Scan";
+    case OpType::kClusteredIndexSeek:
+      return "Clustered Index Seek";
+    case OpType::kIndexScan:
+      return "Index Scan";
+    case OpType::kIndexSeek:
+      return "Index Seek";
+    case OpType::kConstantScan:
+      return "Constant Scan";
+    case OpType::kColumnstoreScan:
+      return "Columnstore Index Scan";
+    case OpType::kRidLookup:
+      return "RID Lookup";
+    case OpType::kFilter:
+      return "Filter";
+    case OpType::kComputeScalar:
+      return "Compute Scalar";
+    case OpType::kTop:
+      return "Top";
+    case OpType::kSort:
+      return "Sort";
+    case OpType::kTopNSort:
+      return "Top N Sort";
+    case OpType::kDistinctSort:
+      return "Distinct Sort";
+    case OpType::kHashJoin:
+      return "Hash Match (Join)";
+    case OpType::kMergeJoin:
+      return "Merge Join";
+    case OpType::kNestedLoopJoin:
+      return "Nested Loops";
+    case OpType::kHashAggregate:
+      return "Hash Match (Aggregate)";
+    case OpType::kStreamAggregate:
+      return "Stream Aggregate";
+    case OpType::kSegment:
+      return "Segment";
+    case OpType::kConcatenation:
+      return "Concatenation";
+    case OpType::kBitmapCreate:
+      return "Bitmap Create";
+    case OpType::kEagerSpool:
+      return "Eager Spool";
+    case OpType::kLazySpool:
+      return "Lazy Spool";
+    case OpType::kGatherStreams:
+      return "Parallelism (Gather Streams)";
+    case OpType::kRepartitionStreams:
+      return "Parallelism (Repartition Streams)";
+    case OpType::kDistributeStreams:
+      return "Parallelism (Distribute Streams)";
+    case OpType::kNumOpTypes:
+      break;
+  }
+  return "Unknown";
+}
+
+bool IsBlocking(OpType type) {
+  switch (type) {
+    case OpType::kSort:
+    case OpType::kTopNSort:
+    case OpType::kDistinctSort:
+    case OpType::kHashAggregate:
+    case OpType::kHashJoin:  // blocking w.r.t. its build input
+    case OpType::kEagerSpool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSemiBlocking(OpType type) {
+  switch (type) {
+    case OpType::kNestedLoopJoin:
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsJoin(OpType type) {
+  switch (type) {
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin:
+    case OpType::kNestedLoopJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsScan(OpType type) {
+  switch (type) {
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexScan:
+    case OpType::kIndexSeek:
+    case OpType::kConstantScan:
+    case OpType::kColumnstoreScan:
+    case OpType::kRidLookup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsExchange(OpType type) {
+  switch (type) {
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAggregate(OpType type) {
+  return type == OpType::kHashAggregate || type == OpType::kStreamAggregate;
+}
+
+bool IsSpool(OpType type) {
+  return type == OpType::kEagerSpool || type == OpType::kLazySpool;
+}
+
+bool IsSortFamily(OpType type) {
+  return type == OpType::kSort || type == OpType::kTopNSort ||
+         type == OpType::kDistinctSort;
+}
+
+}  // namespace lqs

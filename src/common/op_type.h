@@ -1,0 +1,77 @@
+#ifndef LQS_COMMON_OP_TYPE_H_
+#define LQS_COMMON_OP_TYPE_H_
+
+#include <cstdint>
+
+namespace lqs {
+
+/// Physical operator types. This is the union of every operator named in the
+/// paper (Figures 2-10 and the Appendix A bounding table), implemented by the
+/// execution engine in src/exec and understood by the progress estimators in
+/// src/lqs. Lives in common/ because the DMV layer, the executor and the
+/// estimators all speak this vocabulary.
+enum class OpType : uint8_t {
+  // Leaf access paths.
+  kTableScan = 0,
+  kClusteredIndexScan,
+  kClusteredIndexSeek,
+  kIndexScan,
+  kIndexSeek,
+  kConstantScan,
+  kColumnstoreScan,  // batch mode (§4.7)
+  kRidLookup,
+  // Row-mode relational operators.
+  kFilter,
+  kComputeScalar,
+  kTop,
+  kSort,
+  kTopNSort,
+  kDistinctSort,
+  kHashJoin,   // "Hash Match" join
+  kMergeJoin,
+  kNestedLoopJoin,
+  kHashAggregate,    // "Hash Match" aggregate
+  kStreamAggregate,
+  kSegment,
+  kConcatenation,
+  kBitmapCreate,
+  // Spools.
+  kEagerSpool,
+  kLazySpool,
+  // Parallelism / Exchange (§4.4).
+  kGatherStreams,
+  kRepartitionStreams,
+  kDistributeStreams,
+
+  kNumOpTypes,
+};
+
+/// Display name matching SQL Server showplan terminology where applicable.
+const char* OpTypeName(OpType type);
+
+/// Blocking operators consume their entire input before producing output
+/// (§4.5 two-phase model applies). Hash join is blocking with respect to its
+/// build input; it is listed here because its first output row requires the
+/// whole build side.
+bool IsBlocking(OpType type);
+
+/// Semi-blocking operators buffer batches of input rows (§4.4): Exchange
+/// variants, and Nested Loops when the engine buffers/prefetches outer rows.
+bool IsSemiBlocking(OpType type);
+
+bool IsJoin(OpType type);
+
+/// Leaf data-access operators (scans/seeks over stored data).
+bool IsScan(OpType type);
+
+bool IsExchange(OpType type);
+
+bool IsAggregate(OpType type);
+
+bool IsSpool(OpType type);
+
+bool IsSortFamily(OpType type);
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_OP_TYPE_H_

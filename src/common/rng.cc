@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lqs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four xoshiro words from SplitMix64 per the reference
+  // implementation's recommendation; guards against all-zero state.
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  assert(n >= 1);
+  if (z <= 0.0) return;  // Uniform; no table needed.
+  // Exact CDF table. Table size is bounded: the generators in this repo use
+  // domains up to a few million, and 8 bytes per entry is acceptable there.
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), z);
+    cdf_[i - 1] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (z_ <= 0.0) return 1 + rng.NextBelow(n_);
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace lqs

@@ -1,0 +1,61 @@
+#ifndef LQS_COMMON_RNG_H_
+#define LQS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace lqs {
+
+/// Deterministic xoshiro256**-based RNG. Every data generator and workload in
+/// the repository is seeded, so experiments are exactly reproducible run to
+/// run (the paper's experiments depend on fixed data distributions, not on
+/// randomness at query time).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers over [1, n] with parameter z, matching the
+/// skewed TPC-H generator the paper cites ("skew-parameter of Z = 1" [1]).
+/// Uses the classic rejection-inversion-free CDF table for small n and
+/// approximate inversion for large n.
+class ZipfDistribution {
+ public:
+  /// n: domain size; z: skew (z = 0 is uniform; the paper uses z = 1).
+  ZipfDistribution(uint64_t n, double z);
+
+  /// Draws a value in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  // CDF table for exact sampling (n capped; see .cc). Empty when z == 0.
+  std::vector<double> cdf_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_RNG_H_

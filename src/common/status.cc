@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace lqs {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace lqs

@@ -1,0 +1,75 @@
+#ifndef LQS_COMMON_STATUS_H_
+#define LQS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace lqs {
+
+/// Error-handling primitive in the RocksDB/Arrow idiom: exceptions are not
+/// used anywhere in this codebase; fallible functions return a Status (or a
+/// StatusOr<T>, see statusor.h) that the caller must inspect.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kInternal,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Mirrors absl/RocksDB usage.
+#define LQS_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::lqs::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_STATUS_H_

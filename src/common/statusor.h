@@ -1,0 +1,69 @@
+#ifndef LQS_COMMON_STATUSOR_H_
+#define LQS_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lqs {
+
+/// A value-or-error union, in the absl::StatusOr idiom. Either holds a T or a
+/// non-OK Status explaining why the T could not be produced.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from Status and from T keeps call sites terse
+  /// (`return Status::NotFound(...)` / `return value`), matching absl.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates a StatusOr expression; on error propagates the Status, otherwise
+/// moves the value into `lhs`.
+#define LQS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto LQS_CONCAT_(_statusor_, __LINE__) = (expr);            \
+  if (!LQS_CONCAT_(_statusor_, __LINE__).ok())                \
+    return LQS_CONCAT_(_statusor_, __LINE__).status();        \
+  lhs = std::move(LQS_CONCAT_(_statusor_, __LINE__)).value()
+
+#define LQS_CONCAT_INNER_(a, b) a##b
+#define LQS_CONCAT_(a, b) LQS_CONCAT_INNER_(a, b)
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_STATUSOR_H_

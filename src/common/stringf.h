@@ -1,0 +1,32 @@
+#ifndef LQS_COMMON_STRINGF_H_
+#define LQS_COMMON_STRINGF_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace lqs {
+
+/// printf-style formatting into std::string (GCC 12 lacks std::format).
+inline std::string StringF(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string StringF(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[512];
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n < 0) return "";
+  if (static_cast<size_t>(n) < sizeof(buf)) return std::string(buf, n);
+  std::string big(static_cast<size_t>(n) + 1, '\0');
+  va_start(ap, fmt);
+  vsnprintf(big.data(), big.size(), fmt, ap);
+  va_end(ap);
+  big.resize(static_cast<size_t>(n));
+  return big;
+}
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_STRINGF_H_

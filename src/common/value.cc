@@ -1,0 +1,80 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace lqs {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    // String vs non-string comparisons order strings last; within strings,
+    // lexicographic. Mixed comparisons only occur in defensive paths.
+    if (type_ != other.type_) return type_ == DataType::kString ? 1 : -1;
+    return string_.compare(other.string_) < 0   ? -1
+           : string_.compare(other.string_) > 0 ? 1
+                                                : 0;
+  }
+  if (type_ == DataType::kDouble || other.type_ == DataType::kDouble) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : a > b ? 1 : 0;
+  }
+  return int_ < other.int_ ? -1 : int_ > other.int_ ? 1 : 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return std::hash<int64_t>()(int_);
+    case DataType::kDouble: {
+      // Hash doubles through their integer value when integral so that
+      // Value(2.0) and Value(int64 2) hash identically (they compare equal).
+      double d = double_;
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) return std::hash<int64_t>()(as_int);
+      return std::hash<double>()(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>()(string_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  char buf[32];
+  switch (type_) {
+    case DataType::kInt64:
+      snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      return buf;
+    case DataType::kDouble:
+      snprintf(buf, sizeof(buf), "%.4g", double_);
+      return buf;
+    case DataType::kString:
+      return "'" + string_ + "'";
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lqs

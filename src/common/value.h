@@ -1,0 +1,70 @@
+#ifndef LQS_COMMON_VALUE_H_
+#define LQS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqs {
+
+/// Column data types supported by the storage and execution engines. The
+/// reproduction needs integers (keys, quantities), doubles (prices,
+/// aggregates) and short strings (flags, dimension attributes); that covers
+/// every plan shape the paper's experiments exercise.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A single column value. A small hand-rolled tagged union rather than
+/// std::variant: rows flow through operators tens of millions of times per
+/// experiment, and the explicit layout keeps copies cheap and code readable.
+/// Strings are interned per-table as dictionary codes wherever possible; the
+/// inline std::string member exists for computed scalars and constants.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), int_(0) {}
+  explicit Value(int64_t v) : type_(DataType::kInt64), int_(v) {}
+  explicit Value(double v) : type_(DataType::kDouble), double_(v) {}
+  explicit Value(std::string v)
+      : type_(DataType::kString), int_(0), string_(std::move(v)) {}
+
+  DataType type() const { return type_; }
+
+  int64_t AsInt() const { return type_ == DataType::kDouble ? static_cast<int64_t>(double_) : int_; }
+  double AsDouble() const { return type_ == DataType::kDouble ? double_ : static_cast<double>(int_); }
+  const std::string& AsString() const { return string_; }
+
+  /// Total order across same-typed values; numeric types compare by value.
+  /// Used by sort operators, merge joins and index lookups.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash compatible with operator== (used by hash join / hash aggregate).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  union {
+    int64_t int_;
+    double double_;
+  };
+  std::string string_;
+};
+
+/// A tuple flowing between operators.
+using Row = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)" for debugging and example output.
+std::string RowToString(const Row& row);
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_VALUE_H_

@@ -1,0 +1,36 @@
+#ifndef LQS_COMMON_VIRTUAL_CLOCK_H_
+#define LQS_COMMON_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace lqs {
+
+/// Deterministic substitute for wall-clock time (see DESIGN.md §2).
+///
+/// The paper's experiments measure progress-estimation error against the
+/// elapsed wall-clock time of queries running on a production SQL Server.
+/// Re-running against real time would make every experiment nondeterministic
+/// and hardware-dependent, so the executor instead charges each operator a
+/// calibrated amount of *virtual* time per row processed and per page or
+/// column segment read. The profiler samples DMV counters at fixed virtual
+/// intervals (the analogue of SSMS's 500 ms polling), and the error metrics
+/// of §5 are computed over virtual time.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current virtual time in milliseconds since query start.
+  double NowMs() const { return now_ms_; }
+
+  /// Advances the clock; delta must be non-negative.
+  void AdvanceMs(double delta_ms) { now_ms_ += delta_ms; }
+
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_COMMON_VIRTUAL_CLOCK_H_

@@ -1,0 +1,46 @@
+#ifndef LQS_DMV_PROFILER_H_
+#define LQS_DMV_PROFILER_H_
+
+#include <vector>
+
+#include "dmv/query_profile.h"
+
+namespace lqs {
+
+/// Collects DMV snapshots at fixed virtual-time intervals while the executor
+/// runs — the stand-in for SSMS polling sys.dm_exec_query_profiles every
+/// 500 ms (§2.2). The executor calls MaybePoll() after every virtual-clock
+/// advance; Finalize() records the completion snapshot.
+class Profiler {
+ public:
+  /// `live` points at the executor-owned live counters (indexed by node id)
+  /// and must outlive the profiler.
+  Profiler(const std::vector<OperatorProfile>* live, double interval_ms)
+      : live_(live), interval_ms_(interval_ms) {}
+
+  /// Takes a snapshot if at least interval_ms has elapsed since the last one.
+  void MaybePoll(double now_ms) {
+    if (now_ms - last_poll_ms_ < interval_ms_) return;
+    // A long operator stall may span several polling intervals; emit the
+    // snapshot once but advance the phase so polls stay on the grid.
+    while (now_ms - last_poll_ms_ >= interval_ms_) last_poll_ms_ += interval_ms_;
+    trace_.snapshots.push_back(ProfileSnapshot{now_ms, *live_});
+  }
+
+  void Finalize(double end_ms) {
+    trace_.final_snapshot = ProfileSnapshot{end_ms, *live_};
+    trace_.total_elapsed_ms = end_ms;
+  }
+
+  ProfileTrace TakeTrace() { return std::move(trace_); }
+
+ private:
+  const std::vector<OperatorProfile>* live_;
+  double interval_ms_;
+  double last_poll_ms_ = 0;
+  ProfileTrace trace_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_DMV_PROFILER_H_

@@ -1,0 +1,92 @@
+#ifndef LQS_DMV_QUERY_PROFILE_H_
+#define LQS_DMV_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/op_type.h"
+
+namespace lqs {
+
+/// Per-operator counters, the analogue of one row of
+/// sys.dm_exec_query_profiles (§2.1). The executor updates these live; the
+/// profiler copies them into snapshots at each (virtual) polling interval.
+///
+/// Field availability mirrors what the paper says the DMV exposes: actual
+/// and estimated row counts, elapsed/CPU time, physical reads, rebinds, and
+/// (for batch mode) segment counts. Internal operator state such as the
+/// number of buffered rows in an Exchange is deliberately NOT exposed — §7
+/// lists that as future work — and the estimators never read it.
+struct OperatorProfile {
+  int node_id = -1;
+  int parent_node_id = -1;
+  OpType op_type = OpType::kTableScan;
+
+  /// GetNext calls that returned a row, i.e. K_i in the paper's notation.
+  uint64_t row_count = 0;
+  /// Optimizer estimate of total output rows (from the showplan).
+  double estimate_row_count = 0;
+  /// Number of times the operator was re-opened (inner side of nested
+  /// loops). Matches actual_rebinds in the real DMV.
+  uint64_t rebind_count = 0;
+
+  /// Logical page reads issued by this operator (scans/seeks/lookups).
+  uint64_t logical_read_count = 0;
+  /// Column segments fully processed so far (batch-mode operators, §4.7).
+  uint64_t segment_read_count = 0;
+  /// Total segments the operator will touch (from sys.column_store_segments
+  /// plus elimination; populated at Open).
+  uint64_t segment_total_count = 0;
+
+  /// Virtual milliseconds: when the operator first became active, CPU time
+  /// charged by the operator itself, and I/O wait it incurred.
+  double open_time_ms = -1.0;
+  double cpu_time_ms = 0;
+  double io_time_ms = 0;
+  /// Time of the last activity observed at this operator.
+  double last_active_ms = -1.0;
+  /// Time the first output row was produced (-1 until then).
+  double first_row_ms = -1.0;
+  /// Time Close() completed (-1 while executing).
+  double close_time_ms = -1.0;
+
+  bool opened = false;
+  bool closed = false;
+  /// True once the operator has returned end-of-stream: its output
+  /// cardinality is final. (The real DMV exposes this via close/EOF times.)
+  bool finished = false;
+
+  /// True when the access path evaluates predicates inside the storage
+  /// engine (pushed-down residual or bitmap probe, §4.3). Exposed in the
+  /// real system via the showplan predicate list.
+  bool has_pushed_predicate = false;
+  /// Total pages of the underlying object (table or index leaf); with
+  /// logical_read_count this yields the §4.3 I/O-fraction progress.
+  uint64_t total_pages = 0;
+};
+
+/// A point-in-time copy of all operator counters for one executing query:
+/// one DMV polling result.
+struct ProfileSnapshot {
+  double time_ms = 0;
+  std::vector<OperatorProfile> operators;  // indexed by node_id
+};
+
+/// The full sequence of snapshots collected while a query ran, plus the
+/// final counters at completion. The final snapshot supplies the true N_i
+/// and true per-operator activity windows used by the §5 error metrics.
+struct ProfileTrace {
+  std::vector<ProfileSnapshot> snapshots;
+  ProfileSnapshot final_snapshot;
+  double total_elapsed_ms = 0;
+
+  /// True output cardinality of node i at completion (N_i^true).
+  uint64_t TrueCardinality(int node_id) const {
+    return final_snapshot.operators[node_id].row_count;
+  }
+};
+
+}  // namespace lqs
+
+#endif  // LQS_DMV_QUERY_PROFILE_H_

@@ -1,0 +1,94 @@
+#include "exec/operator.h"
+#include "exec/operators.h"
+
+namespace lqs {
+
+StatusOr<std::unique_ptr<Operator>> BuildOperatorTree(const PlanNode& node,
+                                                      ExecContext* ctx) {
+  std::unique_ptr<Operator> op;
+  switch (node.type) {
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+      op = std::make_unique<TableScanOp>(node, ctx);
+      break;
+    case OpType::kClusteredIndexSeek:
+      op = std::make_unique<ClusteredIndexSeekOp>(node, ctx);
+      break;
+    case OpType::kIndexScan:
+      op = std::make_unique<IndexScanOp>(node, ctx);
+      break;
+    case OpType::kIndexSeek:
+      op = std::make_unique<IndexSeekOp>(node, ctx);
+      break;
+    case OpType::kRidLookup:
+      op = std::make_unique<RidLookupOp>(node, ctx);
+      break;
+    case OpType::kConstantScan:
+      op = std::make_unique<ConstantScanOp>(node, ctx);
+      break;
+    case OpType::kColumnstoreScan:
+      op = std::make_unique<ColumnstoreScanOp>(node, ctx);
+      break;
+    case OpType::kFilter:
+      op = std::make_unique<FilterOp>(node, ctx);
+      break;
+    case OpType::kComputeScalar:
+      op = std::make_unique<ComputeScalarOp>(node, ctx);
+      break;
+    case OpType::kTop:
+      op = std::make_unique<TopOp>(node, ctx);
+      break;
+    case OpType::kSegment:
+      op = std::make_unique<SegmentOp>(node, ctx);
+      break;
+    case OpType::kConcatenation:
+      op = std::make_unique<ConcatenationOp>(node, ctx);
+      break;
+    case OpType::kBitmapCreate:
+      op = std::make_unique<BitmapCreateOp>(node, ctx);
+      break;
+    case OpType::kSort:
+    case OpType::kDistinctSort:
+      op = std::make_unique<SortOp>(node, ctx);
+      break;
+    case OpType::kTopNSort:
+      op = std::make_unique<TopNSortOp>(node, ctx);
+      break;
+    case OpType::kHashJoin:
+      op = std::make_unique<HashJoinOp>(node, ctx);
+      break;
+    case OpType::kMergeJoin:
+      op = std::make_unique<MergeJoinOp>(node, ctx);
+      break;
+    case OpType::kNestedLoopJoin:
+      op = std::make_unique<NestedLoopJoinOp>(node, ctx);
+      break;
+    case OpType::kHashAggregate:
+      op = std::make_unique<HashAggregateOp>(node, ctx);
+      break;
+    case OpType::kStreamAggregate:
+      op = std::make_unique<StreamAggregateOp>(node, ctx);
+      break;
+    case OpType::kEagerSpool:
+      op = std::make_unique<EagerSpoolOp>(node, ctx);
+      break;
+    case OpType::kLazySpool:
+      op = std::make_unique<LazySpoolOp>(node, ctx);
+      break;
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      op = std::make_unique<ExchangeOp>(node, ctx);
+      break;
+    case OpType::kNumOpTypes:
+      return Status::InvalidArgument("invalid plan node type");
+  }
+  for (const auto& child : node.children) {
+    LQS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child_op,
+                         BuildOperatorTree(*child, ctx));
+    op->AddChild(std::move(child_op));
+  }
+  return op;
+}
+
+}  // namespace lqs

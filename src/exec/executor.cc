@@ -1,0 +1,51 @@
+#include "exec/executor.h"
+
+#include "dmv/profiler.h"
+#include "exec/operator.h"
+
+namespace lqs {
+
+StatusOr<ExecutionResult> ExecuteQueryWithSink(
+    const Plan& plan, Catalog* catalog, const ExecOptions& options,
+    const std::function<void(const Row&)>& sink) {
+  ExecContext ctx(catalog, options, plan.size());
+  Profiler profiler(&ctx.live_profiles(), options.snapshot_interval_ms);
+  ctx.set_profiler(&profiler);
+
+  // Record plan parentage in the live profiles so DMV consumers can rebuild
+  // the operator tree, as sys.dm_exec_query_profiles exposes it.
+  plan.root->Visit([&ctx](const PlanNode& n) {
+    OperatorProfile& p = ctx.profile(n.id);
+    p.node_id = n.id;
+    p.op_type = n.type;
+    p.estimate_row_count = n.est_rows;
+    for (const auto& c : n.children) ctx.profile(c->id).parent_node_id = n.id;
+  });
+
+  LQS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
+                       BuildOperatorTree(*plan.root, &ctx));
+  LQS_RETURN_IF_ERROR(root->Open());
+
+  ExecutionResult result;
+  Row row;
+  while (true) {
+    auto got = root->GetNext(&row);
+    if (!got.ok()) return got.status();
+    if (!got.value()) break;
+    result.rows_returned++;
+    if (sink) sink(row);
+  }
+  LQS_RETURN_IF_ERROR(root->Close());
+
+  profiler.Finalize(ctx.now_ms());
+  result.duration_ms = ctx.now_ms();
+  result.trace = profiler.TakeTrace();
+  return result;
+}
+
+StatusOr<ExecutionResult> ExecuteQuery(const Plan& plan, Catalog* catalog,
+                                       const ExecOptions& options) {
+  return ExecuteQueryWithSink(plan, catalog, options, nullptr);
+}
+
+}  // namespace lqs

@@ -1,0 +1,35 @@
+#ifndef LQS_EXEC_EXECUTOR_H_
+#define LQS_EXEC_EXECUTOR_H_
+
+#include <functional>
+
+#include "common/statusor.h"
+#include "dmv/query_profile.h"
+#include "exec/exec_context.h"
+#include "exec/plan.h"
+
+namespace lqs {
+
+/// Outcome of running one query to completion.
+struct ExecutionResult {
+  uint64_t rows_returned = 0;
+  double duration_ms = 0;     ///< total virtual time
+  ProfileTrace trace;         ///< DMV snapshots + final counters
+};
+
+/// Runs a finalized plan to completion under the virtual clock, collecting
+/// DMV snapshots every options.snapshot_interval_ms. Result rows are
+/// discarded (decision-support queries in the paper's experiments run to
+/// completion; the estimators only consume the trace).
+StatusOr<ExecutionResult> ExecuteQuery(const Plan& plan, Catalog* catalog,
+                                       const ExecOptions& options);
+
+/// As ExecuteQuery but invokes `sink` on every result row (used by examples
+/// and by correctness tests).
+StatusOr<ExecutionResult> ExecuteQueryWithSink(
+    const Plan& plan, Catalog* catalog, const ExecOptions& options,
+    const std::function<void(const Row&)>& sink);
+
+}  // namespace lqs
+
+#endif  // LQS_EXEC_EXECUTOR_H_

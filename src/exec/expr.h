@@ -1,0 +1,114 @@
+#ifndef LQS_EXEC_EXPR_H_
+#define LQS_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/comparison.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace lqs {
+
+/// Arithmetic operators for scalar expressions (Compute Scalar payloads and
+/// the paper's "out-of-model scalar functions" pushed into scans, §4.3).
+enum class ArithOp : uint8_t {
+  kAdd = 0,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+/// Immutable expression tree evaluated row-at-a-time by the executor and
+/// inspected by the optimizer for selectivity estimation.
+///
+/// Kinds:
+///  - kColumn:      reference to a column of the operator's input row
+///  - kOuterColumn: reference to the current outer row of an enclosing
+///                  Nested Loops join (correlated parameter)
+///  - kLiteral:     constant
+///  - kCompare:     left <op> right, yields int64 0/1
+///  - kAnd/kOr:     boolean combinations, yields int64 0/1
+///  - kArith:       arithmetic
+class Expr {
+ public:
+  enum class Kind : uint8_t {
+    kColumn,
+    kOuterColumn,
+    kLiteral,
+    kCompare,
+    kAnd,
+    kOr,
+    kArith,
+  };
+
+  ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  // ---- Factories ----
+  static std::unique_ptr<Expr> Column(int index);
+  static std::unique_ptr<Expr> OuterColumn(int index);
+  static std::unique_ptr<Expr> Literal(Value value);
+  static std::unique_ptr<Expr> Compare(CompareOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> And(std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Or(std::unique_ptr<Expr> l,
+                                  std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Arith(ArithOp op, std::unique_ptr<Expr> l,
+                                     std::unique_ptr<Expr> r);
+
+  // ---- Evaluation ----
+  /// `row` is the operator's input row; `outer` the enclosing NL join's
+  /// current outer row (may be null when no kOuterColumn appears).
+  Value Eval(const Row& row, const Row* outer) const;
+  bool EvalBool(const Row& row, const Row* outer) const {
+    return Eval(row, outer).AsInt() != 0;
+  }
+
+  // ---- Introspection ----
+  Kind kind() const { return kind_; }
+  int column_index() const { return column_index_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const Value& literal() const { return literal_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+
+  /// Number of nodes; proxy for per-row evaluation CPU cost.
+  int NodeCount() const;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Result type given the input schema (for schema derivation).
+  DataType ResultType(const Schema& input) const;
+
+  std::string ToString(const Schema* input = nullptr) const;
+
+  /// If this expression is `Column(c) op Literal(v)` (either operand order),
+  /// fills the out-params (with op flipped if needed) and returns true. Used
+  /// by the optimizer's histogram lookup and by segment elimination.
+  bool AsColumnCompareLiteral(int* column, CompareOp* op, Value* literal) const;
+
+  /// Collects the conjuncts of a top-level AND chain (or `this` alone).
+  void CollectConjuncts(std::vector<const Expr*>* out) const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  int column_index_ = -1;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  Value literal_;
+  std::unique_ptr<Expr> left_;
+  std::unique_ptr<Expr> right_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_EXEC_EXPR_H_

@@ -1,0 +1,122 @@
+#ifndef LQS_EXEC_OPERATOR_H_
+#define LQS_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/value.h"
+#include "exec/exec_context.h"
+#include "exec/plan.h"
+
+namespace lqs {
+
+/// Base class of all physical operators: the demand-driven iterator
+/// (Open / GetNext / Close) model of [11], §3.1.2. The non-virtual public
+/// methods maintain the DMV counters uniformly — K_i (row_count) counts
+/// GetNext calls that returned a row, exactly the paper's GetNext model of
+/// work — and dispatch to the Impl virtuals.
+class Operator {
+ public:
+  Operator(const PlanNode& node, ExecContext* ctx) : node_(node), ctx_(ctx) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Prepares the operator (and its children) for iteration.
+  Status Open() {
+    OperatorProfile& p = profile();
+    p.node_id = node_.id;
+    p.op_type = node_.type;
+    p.estimate_row_count = node_.est_rows;
+    p.opened = true;
+    return OpenImpl();
+  }
+
+  /// Produces the next row into *out. Returns true if a row was produced,
+  /// false on end-of-stream.
+  StatusOr<bool> GetNext(Row* out) {
+    auto result = GetNextImpl(out);
+    if (result.ok()) {
+      OperatorProfile& p = profile();
+      if (result.value()) {
+        p.row_count++;
+        if (p.first_row_ms < 0) p.first_row_ms = ctx_->now_ms();
+        p.last_active_ms = ctx_->now_ms();
+      } else {
+        p.finished = true;
+      }
+    }
+    return result;
+  }
+
+  Status Close() {
+    Status s = CloseImpl();
+    OperatorProfile& p = profile();
+    p.closed = true;
+    p.close_time_ms = ctx_->now_ms();
+    return s;
+  }
+
+  /// Re-initializes for a new correlated binding (inner side of a Nested
+  /// Loops join). Increments the DMV rebind counter.
+  Status Rebind() {
+    OperatorProfile& p = profile();
+    p.rebind_count++;
+    p.finished = false;  // a new binding will produce more rows
+    return RebindImpl();
+  }
+
+  const PlanNode& node() const { return node_; }
+  int id() const { return node_.id; }
+
+  void AddChild(std::unique_ptr<Operator> child) {
+    children_.push_back(std::move(child));
+  }
+  Operator* child(size_t i) { return children_[i].get(); }
+  size_t num_children() const { return children_.size(); }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual StatusOr<bool> GetNextImpl(Row* out) = 0;
+  virtual Status CloseImpl() {
+    for (auto& c : children_) LQS_RETURN_IF_ERROR(c->Close());
+    return Status::OK();
+  }
+  /// Default rebind recursively rebinds children, then resets this
+  /// operator's own iteration state via ResetImpl. Operators that cache
+  /// results across bindings (spools, uncorrelated sorts/aggregates)
+  /// override RebindImpl to skip the child rebind.
+  virtual Status RebindImpl() {
+    for (auto& c : children_) LQS_RETURN_IF_ERROR(c->Rebind());
+    return ResetImpl();
+  }
+
+  /// Resets the operator's own iteration state for a new binding. Default:
+  /// nothing to reset (pure pass-through operators).
+  virtual Status ResetImpl() { return Status::OK(); }
+
+  OperatorProfile& profile() { return ctx_->profile(node_.id); }
+
+  void ChargeCpu(double ms) { ctx_->Charge(node_.id, ms, 0); }
+  void ChargeIo(double ms) { ctx_->Charge(node_.id, 0, ms); }
+  void ChargeLogicalRead(double io_ms) {
+    profile().logical_read_count++;
+    ctx_->Charge(node_.id, 0, io_ms);
+  }
+
+  const PlanNode& node_;
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Operator>> children_;
+};
+
+/// Builds the operator tree for a finalized plan. Returns the root operator;
+/// all operators share `ctx`.
+StatusOr<std::unique_ptr<Operator>> BuildOperatorTree(const PlanNode& node,
+                                                      ExecContext* ctx);
+
+}  // namespace lqs
+
+#endif  // LQS_EXEC_OPERATOR_H_

@@ -1,0 +1,145 @@
+#ifndef LQS_EXEC_PLAN_H_
+#define LQS_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/op_type.h"
+#include "common/status.h"
+#include "exec/expr.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+
+namespace lqs {
+
+/// Join semantics. Names follow Appendix A of the paper. For every join
+/// operator children[0] is the OUTER input (build side for Hash Match, outer
+/// loop for Nested Loops, left for Merge Join) and children[1] the INNER
+/// input (probe side / inner loop / right).
+enum class JoinKind : uint8_t {
+  kInner = 0,
+  kLeftOuter,
+  kRightOuter,
+  kFullOuter,
+  kLeftSemi,
+  kLeftAnti,
+  kRightSemi,
+};
+
+const char* JoinKindName(JoinKind kind);
+
+/// One aggregate expression of an aggregation operator.
+struct AggSpec {
+  enum class Func : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+  Func func = Func::kCount;
+  /// Input column aggregated over; -1 for COUNT(*).
+  int column = -1;
+};
+
+/// A node of a physical execution plan — the showplan analogue. Carries both
+/// the operator payload the executor needs and the optimizer annotations
+/// (estimated rows, CPU/I-O cost) the progress estimator consumes (§2.2).
+struct PlanNode {
+  int id = -1;  ///< Unique, dense, assigned by FinalizePlan (pre-order).
+  OpType type = OpType::kTableScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Scan / access-path payload ---
+  std::string table_name;
+  std::string index_name;
+  /// Seek bounds on the access path's key column (ClusteredIndexSeek /
+  /// IndexSeek). Either may be null (open-ended). May reference
+  /// OuterColumn(...) when the seek is the correlated inner of a NL join.
+  std::unique_ptr<Expr> seek_lo;
+  std::unique_ptr<Expr> seek_hi;
+  /// Predicate evaluated inside the storage engine during the scan (§4.3).
+  std::unique_ptr<Expr> pushed_predicate;
+  /// When >= 0, the scan additionally probes the bitmap created by the
+  /// BitmapCreate node `bitmap_source_id` using this output column (§4.3).
+  int bitmap_probe_column = -1;
+  int bitmap_source_id = -1;
+  /// RID Lookup: outer column carrying the row id to fetch.
+  int rid_outer_column = -1;
+  /// Bitmap Create: input column whose values populate the bitmap.
+  int bitmap_key_column = -1;
+  /// Constant Scan payload.
+  std::vector<Row> constant_rows;
+
+  // --- Row-operator payload ---
+  std::unique_ptr<Expr> predicate;  ///< Filter / join residual predicate.
+  std::vector<std::unique_ptr<Expr>> projections;  ///< Compute Scalar.
+
+  // --- Join payload ---
+  JoinKind join_kind = JoinKind::kInner;
+  std::vector<int> outer_keys;  ///< Equijoin columns on children[0] output.
+  std::vector<int> inner_keys;  ///< Equijoin columns on children[1] output.
+  /// Nested Loops: buffer/prefetch outer rows (the §4.4 semi-blocking
+  /// behaviour; corresponds to batch sort / prefetching in SQL Server).
+  bool buffered_outer = false;
+
+  // --- Sort / Top / aggregate payload ---
+  std::vector<int> sort_columns;
+  int64_t top_n = -1;
+  std::vector<int> group_columns;
+  std::vector<AggSpec> aggregates;
+
+  // --- Optimizer annotations (the "showplan" the client reads) ---
+  double est_rows = 0;      ///< Estimated output cardinality N̂_i.
+  double est_cpu_ms = 0;    ///< Estimated total CPU cost of this operator.
+  double est_io_ms = 0;     ///< Estimated total I/O cost of this operator.
+  double est_rebinds = 0;   ///< Estimated executions (NL inner side).
+
+  /// Derived output schema (FinalizePlan).
+  Schema output_schema;
+
+  // ------------------------------------------------------------------
+  PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  PlanNode* child(size_t i) const { return children[i].get(); }
+
+  /// Pre-order visit of this subtree.
+  void Visit(const std::function<void(const PlanNode&)>& fn) const;
+  void VisitMutable(const std::function<void(PlanNode&)>& fn);
+
+  /// Total number of nodes in this subtree.
+  int CountNodes() const;
+
+  /// Deep copy (plans are reused across estimator configurations).
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+/// A finalized plan: root + flat id -> node index for O(1) lookup.
+struct Plan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<const PlanNode*> nodes;  ///< nodes[id] has .id == id.
+
+  const PlanNode& node(int id) const { return *nodes[id]; }
+  int size() const { return static_cast<int>(nodes.size()); }
+
+  Plan() = default;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Deep copy.
+  Plan Clone() const;
+};
+
+/// Assigns dense pre-order ids, derives output schemas (requires the tables
+/// referenced by scans to exist in `catalog`), and builds the id index.
+/// Must be called before execution, annotation or estimation.
+StatusOr<Plan> FinalizePlan(std::unique_ptr<PlanNode> root,
+                            const Catalog& catalog);
+
+/// Renders the plan tree with estimates, one node per line (indented).
+std::string PlanToString(const Plan& plan);
+
+}  // namespace lqs
+
+#endif  // LQS_EXEC_PLAN_H_

@@ -1,0 +1,157 @@
+#include "exec/cost_constants.h"
+#include "exec/operators.h"
+
+namespace lqs {
+
+// ---------------------------------------------------------------------------
+// FilterOp
+// ---------------------------------------------------------------------------
+
+FilterOp::FilterOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status FilterOp::OpenImpl() { return child(0)->Open(); }
+
+StatusOr<bool> FilterOp::GetNextImpl(Row* out) {
+  const double pred_cost =
+      node_.predicate == nullptr
+          ? 0.0
+          : node_.predicate->NodeCount() * cost::kCpuPredNodeMs;
+  while (true) {
+    auto got = child(0)->GetNext(out);
+    if (!got.ok() || !got.value()) return got;
+    ChargeCpu(cost::kCpuFilterRowMs + pred_cost);
+    if (node_.predicate == nullptr ||
+        node_.predicate->EvalBool(*out, ctx_->outer_row())) {
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ComputeScalarOp
+// ---------------------------------------------------------------------------
+
+ComputeScalarOp::ComputeScalarOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status ComputeScalarOp::OpenImpl() { return child(0)->Open(); }
+
+StatusOr<bool> ComputeScalarOp::GetNextImpl(Row* out) {
+  auto got = child(0)->GetNext(out);
+  if (!got.ok() || !got.value()) return got;
+  ChargeCpu(cost::kCpuComputeRowMs *
+            static_cast<double>(node_.projections.size()));
+  for (const auto& p : node_.projections) {
+    out->push_back(p->Eval(*out, ctx_->outer_row()));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TopOp
+// ---------------------------------------------------------------------------
+
+TopOp::TopOp(const PlanNode& node, ExecContext* ctx) : Operator(node, ctx) {}
+
+Status TopOp::OpenImpl() {
+  emitted_ = 0;
+  return child(0)->Open();
+}
+
+Status TopOp::ResetImpl() {
+  emitted_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> TopOp::GetNextImpl(Row* out) {
+  if (node_.top_n >= 0 && emitted_ >= node_.top_n) return false;
+  auto got = child(0)->GetNext(out);
+  if (!got.ok() || !got.value()) return got;
+  ChargeCpu(cost::kCpuRowPassMs);
+  ++emitted_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentOp
+// ---------------------------------------------------------------------------
+
+SegmentOp::SegmentOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status SegmentOp::OpenImpl() {
+  has_prev_ = false;
+  return child(0)->Open();
+}
+
+Status SegmentOp::ResetImpl() {
+  has_prev_ = false;
+  return Status::OK();
+}
+
+StatusOr<bool> SegmentOp::GetNextImpl(Row* out) {
+  auto got = child(0)->GetNext(out);
+  if (!got.ok() || !got.value()) return got;
+  ChargeCpu(cost::kCpuRowPassMs);
+  // Group-boundary detection over the configured columns; the boundary flag
+  // itself is not materialized (no consumer in our plans needs it).
+  if (has_prev_) {
+    for (int c : node_.group_columns) {
+      if (!((*out)[c] == prev_[c])) break;
+    }
+  }
+  prev_ = *out;
+  has_prev_ = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ConcatenationOp
+// ---------------------------------------------------------------------------
+
+ConcatenationOp::ConcatenationOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status ConcatenationOp::OpenImpl() {
+  current_child_ = 0;
+  for (auto& c : children_) LQS_RETURN_IF_ERROR(c->Open());
+  return Status::OK();
+}
+
+Status ConcatenationOp::ResetImpl() {
+  current_child_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> ConcatenationOp::GetNextImpl(Row* out) {
+  while (current_child_ < children_.size()) {
+    auto got = child(current_child_)->GetNext(out);
+    if (!got.ok()) return got;
+    if (got.value()) {
+      ChargeCpu(cost::kCpuRowPassMs);
+      return true;
+    }
+    ++current_child_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// BitmapCreateOp
+// ---------------------------------------------------------------------------
+
+BitmapCreateOp::BitmapCreateOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status BitmapCreateOp::OpenImpl() { return child(0)->Open(); }
+
+StatusOr<bool> BitmapCreateOp::GetNextImpl(Row* out) {
+  auto got = child(0)->GetNext(out);
+  if (!got.ok() || !got.value()) return got;
+  ChargeCpu(cost::kCpuBitmapInsertRowMs);
+  ctx_->BitmapInsert(node_.id, (*out)[node_.bitmap_key_column]);
+  return true;
+}
+
+}  // namespace lqs

@@ -1,0 +1,87 @@
+#include "exec/cost_constants.h"
+#include "exec/operators.h"
+
+namespace lqs {
+
+// ---------------------------------------------------------------------------
+// EagerSpoolOp
+// ---------------------------------------------------------------------------
+
+EagerSpoolOp::EagerSpoolOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status EagerSpoolOp::OpenImpl() {
+  cached_ = false;
+  cache_.clear();
+  cursor_ = 0;
+  return child(0)->Open();
+}
+
+Status EagerSpoolOp::RebindImpl() {
+  // Replays the cache; the child is not re-executed.
+  cursor_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> EagerSpoolOp::GetNextImpl(Row* out) {
+  if (!cached_) {
+    // Blocking: materialize the entire input on first demand.
+    Row row;
+    while (true) {
+      auto got = child(0)->GetNext(&row);
+      if (!got.ok()) return got.status();
+      if (!got.value()) break;
+      ChargeCpu(cost::kCpuSpoolWriteRowMs);
+      cache_.push_back(std::move(row));
+    }
+    cached_ = true;
+  }
+  if (cursor_ >= cache_.size()) return false;
+  ChargeCpu(cost::kCpuSpoolReadRowMs);
+  *out = cache_[cursor_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LazySpoolOp
+// ---------------------------------------------------------------------------
+
+LazySpoolOp::LazySpoolOp(const PlanNode& node, ExecContext* ctx)
+    : Operator(node, ctx) {}
+
+Status LazySpoolOp::OpenImpl() {
+  child_eof_ = false;
+  cache_.clear();
+  cursor_ = 0;
+  return child(0)->Open();
+}
+
+Status LazySpoolOp::RebindImpl() {
+  // Replay what is cached; continue pulling the child afterwards if it was
+  // not exhausted on the previous binding.
+  cursor_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> LazySpoolOp::GetNextImpl(Row* out) {
+  if (cursor_ < cache_.size()) {
+    ChargeCpu(cost::kCpuSpoolReadRowMs);
+    *out = cache_[cursor_++];
+    return true;
+  }
+  if (child_eof_) return false;
+  Row row;
+  auto got = child(0)->GetNext(&row);
+  if (!got.ok()) return got.status();
+  if (!got.value()) {
+    child_eof_ = true;
+    return false;
+  }
+  ChargeCpu(cost::kCpuSpoolWriteRowMs);
+  cache_.push_back(row);
+  ++cursor_;
+  *out = std::move(row);
+  return true;
+}
+
+}  // namespace lqs

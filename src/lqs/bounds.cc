@@ -1,0 +1,276 @@
+#include "lqs/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lqs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct BoundsState {
+  const Plan* plan;
+  const Catalog* catalog;
+  const ProfileSnapshot* snapshot;
+  CardinalityBounds* out;
+
+  double K(int id) const {
+    return static_cast<double>(snapshot->operators[id].row_count);
+  }
+  const OperatorProfile& Prof(int id) const {
+    return snapshot->operators[id];
+  }
+
+  double TableRows(const PlanNode& node) const {
+    const Table* t = catalog->GetTable(node.table_name);
+    return t == nullptr ? kInf : static_cast<double>(t->num_rows());
+  }
+
+  /// `inner_multiplier`: upper bound on how many times this subtree will
+  /// execute (UB of the enclosing NL join's outer side); 1 at top level.
+  /// `may_stop_early`: an ancestor (Top, Merge Join alignment) may abandon
+  /// this subtree before it reaches end-of-stream, so "exact output" lower
+  /// bounds (e.g. Table Scan = TableSize) do not apply.
+  void Compute(const PlanNode& node, double inner_multiplier,
+               bool may_stop_early) {
+    // Children first. For joins, the outer child's bounds feed both the
+    // join's own bound and the inner child's execution multiplier.
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      bool child_early = may_stop_early;
+      if (node.type == OpType::kTop || node.type == OpType::kMergeJoin) {
+        // Top abandons its child at N rows; a merge join may exhaust one
+        // input and abandon the other mid-stream.
+        child_early = true;
+      }
+      if (node.type == OpType::kNestedLoopJoin && i == 1) {
+        const PlanNode& outer = *node.children[0];
+        double outer_ub = out->upper[outer.id];
+        // Semi/anti kinds abandon the inner stream after the first match.
+        bool inner_early = child_early ||
+                           node.join_kind == JoinKind::kLeftSemi ||
+                           node.join_kind == JoinKind::kLeftAnti;
+        Compute(*node.children[i],
+                std::max(1.0, outer_ub) *
+                    (inner_multiplier == kInf ? 1.0 : inner_multiplier),
+                inner_early);
+      } else {
+        Compute(*node.children[i], inner_multiplier, child_early);
+      }
+    }
+
+    const double k = K(node.id);
+    double lb = k;
+    double ub = kInf;
+    auto child_ub = [&](size_t i) { return out->upper[node.child(i)->id]; };
+    auto child_k = [&](size_t i) { return K(node.child(i)->id); };
+
+    switch (node.type) {
+      // --- Access paths ---
+      case OpType::kTableScan:
+      case OpType::kClusteredIndexScan:
+      case OpType::kColumnstoreScan: {
+        const double rows = TableRows(node);
+        if (node.pushed_predicate == nullptr && node.bitmap_source_id < 0) {
+          // Appendix A: a full scan outputs exactly the table size (per
+          // execution); across unknown executions only K is a safe LB.
+          lb = inner_multiplier <= 1.0 ? rows : k;
+          ub = rows * inner_multiplier;
+        } else {
+          // With storage-engine filters the output is unknown, but it cannot
+          // exceed the rows not yet examined plus those already returned.
+          const OperatorProfile& p = Prof(node.id);
+          // Rows FULLY examined: exclude the page/segment currently in
+          // flight, whose rows may still be emitted.
+          double done_pages =
+              p.logical_read_count > 0
+                  ? static_cast<double>(p.logical_read_count - 1)
+                  : 0.0;
+          double examined = std::min(
+              rows, done_pages * static_cast<double>(kRowsPerPage));
+          if (node.type == OpType::kColumnstoreScan &&
+              p.segment_total_count > 0) {
+            double done_segments =
+                p.segment_read_count > 0
+                    ? static_cast<double>(p.segment_read_count - 1)
+                    : 0.0;
+            examined = rows * done_segments /
+                       static_cast<double>(p.segment_total_count);
+          }
+          ub = k + (rows - examined) * inner_multiplier;
+          ub = std::max(ub, k);
+        }
+        break;
+      }
+      case OpType::kClusteredIndexSeek:
+      case OpType::kIndexSeek:
+      case OpType::kIndexScan: {
+        const double rows = TableRows(node);
+        lb = k;
+        ub = rows * inner_multiplier;  // "TableSize, or TableSize * UB_{i-1}"
+        break;
+      }
+      case OpType::kRidLookup:
+        lb = k;
+        ub = 1.0 * inner_multiplier;  // one row per execution
+        break;
+      case OpType::kConstantScan:
+        lb = static_cast<double>(node.constant_rows.size());
+        ub = lb * std::max(1.0, inner_multiplier);
+        break;
+
+      // --- Joins (Appendix A): LB = K_i;
+      //     UB = (UB_stream - K_stream + 1) * UB_other + K_i, where the
+      //     "stream" is the input whose future rows drive future output:
+      //     the probe side for Hash Match, the outer side for Nested
+      //     Loops / Merge Join. The +1 covers the stream row currently
+      //     being processed.
+      case OpType::kHashJoin:
+      case OpType::kMergeJoin:
+      case OpType::kNestedLoopJoin: {
+        lb = k;
+        const size_t stream = node.type == OpType::kHashJoin ? 1 : 0;
+        const size_t other = 1 - stream;
+        double remaining =
+            std::max(0.0, child_ub(stream) - child_k(stream)) + 1.0;
+        ub = remaining * std::max(1.0, child_ub(other)) + k;
+        // Kinds that additionally emit preserved/unmatched build rows after
+        // the probe completes.
+        if (node.type == OpType::kHashJoin &&
+            (node.join_kind == JoinKind::kLeftOuter ||
+             node.join_kind == JoinKind::kFullOuter ||
+             node.join_kind == JoinKind::kLeftSemi ||
+             node.join_kind == JoinKind::kLeftAnti)) {
+          ub += child_ub(0);
+        }
+        // Semi/anti variants cannot exceed the preserved side's UB either.
+        switch (node.join_kind) {
+          case JoinKind::kLeftSemi:
+          case JoinKind::kLeftAnti:
+            ub = std::min(ub, child_ub(0));
+            break;
+          case JoinKind::kRightSemi:
+            ub = std::min(ub, child_ub(1));
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+
+      case OpType::kConcatenation: {
+        lb = 0;
+        ub = 0;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          lb += child_k(i);
+          ub += child_ub(i);
+        }
+        lb = std::max(lb, k);
+        break;
+      }
+
+      // --- Filters / segment / distinct sort:
+      //     LB = K_i; UB = (UB_{i-1} - K_{i-1}) + K_i ---
+      case OpType::kFilter:
+      case OpType::kSegment:
+      case OpType::kDistinctSort:
+        lb = k;
+        ub = std::max(0.0, child_ub(0) - child_k(0)) + k;
+        break;
+
+      // --- Cardinality-preserving: LB = K_{i-1}; UB = UB_{i-1} ---
+      // Exchanges are listed with the filter formula in the paper's Table 1,
+      // but they BUFFER rows (§4.4): consumed-but-buffered input will still
+      // be emitted, so the sound bounds are those of a cardinality-
+      // preserving operator.
+      case OpType::kSort:
+      case OpType::kComputeScalar:
+      case OpType::kBitmapCreate:
+      case OpType::kGatherStreams:
+      case OpType::kRepartitionStreams:
+      case OpType::kDistributeStreams:
+        lb = std::max(k, child_k(0));
+        ub = child_ub(0);
+        break;
+
+      case OpType::kTop:
+      case OpType::kTopNSort: {
+        const double n =
+            node.top_n >= 0 ? static_cast<double>(node.top_n) : kInf;
+        lb = std::min(n, std::max(k, child_k(0)));
+        ub = std::min(n * std::max(1.0, inner_multiplier), child_ub(0));
+        break;
+      }
+
+      // --- Aggregates: LB = max(1, K_i); UB = remaining input + K_i ---
+      case OpType::kHashAggregate:
+      case OpType::kStreamAggregate:
+        if (node.group_columns.empty()) {
+          // Scalar aggregate: exactly one row per execution.
+          lb = std::max(k, 1.0);
+          ub = std::max(1.0, inner_multiplier);
+        } else if (node.type == OpType::kStreamAggregate) {
+          lb = k;  // a group-by over empty input yields zero rows
+          // Pipelined aggregate: every consumed input row belongs to an
+          // emitted group or the current one; each remaining input row can
+          // open at most one new group.
+          ub = std::max(0.0, child_ub(0) - child_k(0)) + std::max(k, 1.0) +
+               1.0;
+          ub = std::min(ub, child_ub(0));
+        } else {
+          // Blocking aggregate: groups accumulate invisibly during the
+          // input phase, so only the input cardinality bounds the output.
+          lb = k;  // a group-by over empty input yields zero rows
+          ub = child_ub(0);
+        }
+        break;
+
+      // --- Spools: unbounded above across rebinds ---
+      case OpType::kEagerSpool:
+      case OpType::kLazySpool:
+        lb = k;
+        ub = inner_multiplier > 1.0 || inner_multiplier == kInf
+                 ? kInf
+                 : child_ub(0);
+        break;
+
+      case OpType::kNumOpTypes:
+        break;
+    }
+
+    // Under a limiting ancestor the subtree may be abandoned before
+    // end-of-stream: exact-output lower bounds do not hold, only K does.
+    if (may_stop_early) lb = k;
+
+    // An operator that has reached end-of-stream (and cannot be re-bound
+    // again once the query's remaining executions are done) has exact
+    // cardinality. Only safe outside NL inners, where no further rebinds
+    // can occur.
+    if (Prof(node.id).finished && inner_multiplier <= 1.0) {
+      lb = k;
+      ub = k;
+    }
+
+    if (ub < lb) ub = lb;
+    out->lower[node.id] = lb;
+    out->upper[node.id] = ub;
+  }
+};
+
+}  // namespace
+
+double CardinalityBounds::Clamp(int node_id, double estimate) const {
+  return std::clamp(estimate, lower[node_id], upper[node_id]);
+}
+
+CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
+                                const ProfileSnapshot& snapshot) {
+  CardinalityBounds bounds;
+  bounds.lower.assign(plan.size(), 0.0);
+  bounds.upper.assign(plan.size(), kInf);
+  BoundsState st{&plan, &catalog, &snapshot, &bounds};
+  st.Compute(*plan.root, 1.0, false);
+  return bounds;
+}
+
+}  // namespace lqs

@@ -1,0 +1,34 @@
+#ifndef LQS_LQS_BOUNDS_H_
+#define LQS_LQS_BOUNDS_H_
+
+#include <vector>
+
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// Worst-case lower/upper bounds on each operator's total GetNext count,
+/// derived online from algebraic operator properties (§4.2, Appendix A).
+struct CardinalityBounds {
+  std::vector<double> lower;  ///< per node id
+  std::vector<double> upper;  ///< per node id; may be +infinity (spools)
+
+  /// Clamps a cardinality estimate for `node_id` into [lower, upper].
+  double Clamp(int node_id, double estimate) const;
+};
+
+/// Computes the Appendix A bounds for every node given the current DMV
+/// snapshot. Table sizes come from the catalog (the client can always read
+/// them); K values from the snapshot; children's bounds compose bottom-up.
+/// Nodes on the inner side of a Nested Loops join have their per-execution
+/// bounds scaled by the outer side's upper bound, per the table's "when on
+/// inner side of join" entries. Operators that have reached end-of-stream
+/// have exact bounds (lower = upper = K_i).
+CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
+                                const ProfileSnapshot& snapshot);
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_BOUNDS_H_

@@ -1,0 +1,139 @@
+#ifndef LQS_LQS_ESTIMATOR_H_
+#define LQS_LQS_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "lqs/bounds.h"
+#include "lqs/feedback.h"
+#include "lqs/pipeline.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// Feature switches of the progress estimator. Each flag corresponds to one
+/// of the paper's techniques; the presets below reproduce the configurations
+/// compared in §5. Everything runs client-side off DMV snapshots plus the
+/// showplan annotations, exactly like the SSMS module (§2.2).
+struct EstimatorOptions {
+  /// Pipeline/query progress from driver nodes (DNE [7]) instead of the
+  /// Total-GetNext model over all nodes (TGN, Equation 2 with w_i = 1).
+  bool use_driver_nodes = true;
+  /// §4.1 online cardinality refinement (scale K_i by inverse driver
+  /// progress).
+  bool refine_cardinality = true;
+  /// §4.2 / Appendix A worst-case bounding of the N_i.
+  bool bound_cardinality = true;
+  /// §4.4 semi-blocking adjustments: NL inner sides become drivers,
+  /// refinement scales by the immediate child across semi-blocking
+  /// operators, inner-side scale-up uses actual executions.
+  bool semi_blocking_adjust = true;
+  /// §4.5 two-phase (input+output) progress model for blocking operators.
+  bool two_phase_blocking = true;
+  /// §4.6 pipeline weights from max(est CPU, est I/O).
+  bool use_weights = true;
+  /// §4.6 restrict the weighted aggregate to the longest (critical) path of
+  /// pipelines. Off by default: our substrate executes pipelines serially,
+  /// so total time is the sum over all pipelines (see DESIGN.md §5).
+  bool critical_path_only = false;
+  /// §4.3 I/O-fraction progress for scans with storage-engine predicates.
+  bool storage_predicate_io = true;
+  /// §4.7 segment-fraction progress for batch-mode columnstore scans.
+  bool batch_mode_segments = true;
+  /// Prior-work alternative [22]: linearly interpolate between the
+  /// optimizer estimate and the scaled-up estimate instead of replacing.
+  bool interpolate_refinement = false;
+  /// §7(a) future-work extension: propagate refined cardinalities across
+  /// pipeline boundaries — a not-yet-started operator's estimate is scaled
+  /// by how far its children's refined estimates moved from the showplan
+  /// estimates. The paper's shipping system propagates only worst-case
+  /// bounds; off by default to match it.
+  bool propagate_refinement = false;
+  /// Guard (§4.1): minimum observed rows before refinement engages.
+  uint64_t refine_min_rows = 30;
+
+  /// Equation 2 with w_i = 1 over all nodes, optimizer estimates as-is.
+  static EstimatorOptions TotalGetNext();
+  /// TGN plus Appendix A bounding only.
+  static EstimatorOptions BoundingOnly();
+  /// Driver-node estimator with refinement + bounding, no weights (the
+  /// §5.1 "Bounding + Refinement" configuration).
+  static EstimatorOptions DriverNodeRefined();
+  /// Everything on — the shipping LQS configuration.
+  static EstimatorOptions Lqs();
+};
+
+/// Progress output for one DMV snapshot.
+struct ProgressReport {
+  double query_progress = 0;  ///< [0, 1]
+  /// Per node id, [0, 1]; exactly what LQS renders under each operator.
+  std::vector<double> operator_progress;
+  /// Refined total-cardinality estimates N̂_i per node id.
+  std::vector<double> refined_rows;
+  /// Per-pipeline driver progress (diagnostics / examples).
+  std::vector<double> pipeline_progress;
+  /// Per-pipeline weight used in the query-level aggregate.
+  std::vector<double> pipeline_weight;
+};
+
+/// Client-side progress estimator: constructed once per (plan, options),
+/// then fed DMV snapshots as they are polled.
+class ProgressEstimator {
+ public:
+  ProgressEstimator(const Plan* plan, const Catalog* catalog,
+                    EstimatorOptions options);
+
+  /// Computes query and operator progress from one DMV snapshot. Stateless
+  /// across calls (all state is in the snapshot), so snapshots may be
+  /// replayed in any order.
+  ProgressReport Estimate(const ProfileSnapshot& snapshot) const;
+
+  const PlanAnalysis& analysis() const { return analysis_; }
+  const EstimatorOptions& options() const { return options_; }
+
+  /// §7(b) extension: apply learned per-operator-type cost multipliers to
+  /// the pipeline weights. `feedback` must outlive the estimator; pass
+  /// nullptr to disable.
+  void SetCostFeedback(const CostFeedback* feedback) { feedback_ = feedback; }
+
+ private:
+  struct Workspace;
+
+  /// §4.3/§4.7-aware progress of a single driver node: fills (k, n) such
+  /// that k/n is the driver's progress contribution.
+  void DriverContribution(const ProfileSnapshot& snapshot, int node_id,
+                          const std::vector<double>& n_hat, double* k,
+                          double* n) const;
+
+  /// One bottom-up refinement pass (§4.1/§4.4) given per-pipeline alphas.
+  void RefinePass(const ProfileSnapshot& snapshot,
+                  const std::vector<double>& alpha,
+                  const CardinalityBounds* bounds,
+                  std::vector<double>* n_hat) const;
+
+  /// Driver-based progress of each pipeline; `include_inner` adds the
+  /// §4.4(1) NL-inner drivers (requires refined estimates for them).
+  std::vector<double> PipelineAlphas(const ProfileSnapshot& snapshot,
+                                     const std::vector<double>& n_hat,
+                                     bool include_inner) const;
+
+  double OperatorProgress(const ProfileSnapshot& snapshot, int node_id,
+                          const std::vector<double>& n_hat) const;
+
+  /// §4.6 pipeline weights: per-operator max(CPU, I/O) re-evaluated at the
+  /// refined cardinalities, with blocking-input work attributed to the
+  /// pipeline it temporally executes with.
+  std::vector<double> PipelineWeights(const std::vector<double>& n_hat) const;
+
+  const Plan* plan_;
+  const Catalog* catalog_;
+  EstimatorOptions options_;
+  PlanAnalysis analysis_;
+  const CostFeedback* feedback_ = nullptr;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_ESTIMATOR_H_

@@ -1,0 +1,49 @@
+#include "lqs/feedback.h"
+
+#include <algorithm>
+
+namespace lqs {
+
+void CostFeedback::Observe(const Plan& plan, const ProfileTrace& trace) {
+  const ProfileSnapshot& fin = trace.final_snapshot;
+  if (fin.operators.size() != static_cast<size_t>(plan.size())) return;
+  for (int i = 0; i < plan.size(); ++i) {
+    const PlanNode& node = plan.node(i);
+    const OperatorProfile& prof = fin.operators[i];
+    const double actual = prof.cpu_time_ms + prof.io_time_ms;
+    if (actual <= 0) continue;
+    // Predicted cost at the true cardinalities: per-row cost times actual
+    // rows. An operator's work is driven by its inputs as much as its
+    // output (a hash join's cost is build+probe rows), so the rescaling
+    // ratio uses the node's own rows plus its children's. This cancels
+    // cardinality error and leaves cost-model error, which is what weight
+    // feedback should correct.
+    double predicted = node.est_cpu_ms + node.est_io_ms;
+    double est_volume = node.est_rows;
+    double actual_volume = static_cast<double>(prof.row_count);
+    for (const auto& child : node.children) {
+      est_volume += child->est_rows;
+      actual_volume += static_cast<double>(fin.operators[child->id].row_count);
+    }
+    if (est_volume > 0 && actual_volume > 0) {
+      predicted = predicted / est_volume * actual_volume;
+    }
+    if (predicted <= 0) continue;
+    Accumulator& acc = per_type_[node.type];
+    acc.actual_ms += actual;
+    acc.predicted_ms += predicted;
+  }
+  observations_++;
+}
+
+double CostFeedback::Multiplier(OpType type) const {
+  auto it = per_type_.find(type);
+  if (it == per_type_.end() || it->second.predicted_ms <= 0) return 1.0;
+  const double raw = it->second.actual_ms / it->second.predicted_ms;
+  // Smooth toward 1 and clamp: feedback should nudge weights, not let one
+  // outlier query dominate them.
+  const double blend = std::min(1.0, observations_ / 8.0);
+  return std::clamp(1.0 + (raw - 1.0) * blend, 0.1, 10.0);
+}
+
+}  // namespace lqs

@@ -1,0 +1,51 @@
+#ifndef LQS_LQS_FEEDBACK_H_
+#define LQS_LQS_FEEDBACK_H_
+
+#include <map>
+
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+
+namespace lqs {
+
+/// §7(b) future-work extension: "the ability to use feedback from prior
+/// executions of queries to adjust the weights that model the relative costs
+/// of CPU and I/O overhead when estimating query-level progress."
+///
+/// After each completed query, Observe() compares the virtual time each
+/// operator actually consumed against what the optimizer's cost model
+/// predicts at the TRUE cardinalities (isolating cost-model error from
+/// cardinality error). Multiplier() then returns a smoothed actual/predicted
+/// ratio per operator type, which ProgressEstimator applies to its §4.6
+/// pipeline weights when configured with SetCostFeedback().
+///
+/// On a well-calibrated engine the multipliers hover near 1; they move when
+/// the cost model mis-prices an operator class (e.g. spilling sorts, cold
+/// caches), which is exactly the drift this feedback corrects.
+class CostFeedback {
+ public:
+  CostFeedback() = default;
+
+  /// Records one completed query. `plan` must be annotated (per-row costs
+  /// are derived from est_cpu_ms/est_io_ms and est_rows).
+  void Observe(const Plan& plan, const ProfileTrace& trace);
+
+  /// Smoothed actual/predicted cost ratio for the operator type; 1.0 when
+  /// nothing has been observed.
+  double Multiplier(OpType type) const;
+
+  /// Queries observed so far.
+  int observations() const { return observations_; }
+
+ private:
+  struct Accumulator {
+    double actual_ms = 0;
+    double predicted_ms = 0;
+  };
+  std::map<OpType, Accumulator> per_type_;
+  int observations_ = 0;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_FEEDBACK_H_

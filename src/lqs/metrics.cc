@@ -1,0 +1,108 @@
+#include "lqs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lqs {
+
+namespace {
+
+/// GetNext-model progress with exact cardinalities: the §5 Error_count
+/// reference term Σ K_i(t) / Σ N_i^true over all plan nodes.
+double TrueCountProgress(const ProfileSnapshot& snap,
+                         const ProfileSnapshot& final_snap) {
+  double sum_k = 0;
+  double sum_n = 0;
+  for (size_t i = 0; i < snap.operators.size(); ++i) {
+    sum_k += static_cast<double>(snap.operators[i].row_count);
+    sum_n += static_cast<double>(final_snap.operators[i].row_count);
+  }
+  return sum_n > 0 ? sum_k / sum_n : 1.0;
+}
+
+}  // namespace
+
+QueryEvaluation EvaluateQuery(const Plan& plan, const Catalog& catalog,
+                              const ProfileTrace& trace,
+                              const EstimatorOptions& options) {
+  QueryEvaluation eval;
+  ProgressEstimator estimator(&plan, &catalog, options);
+  const ProfileSnapshot& final_snap = trace.final_snapshot;
+  const double total = trace.total_elapsed_ms;
+
+  eval.operator_errors.resize(plan.size());
+  for (int i = 0; i < plan.size(); ++i) {
+    eval.operator_errors[i].node_id = i;
+    eval.operator_errors[i].type = plan.node(i).type;
+  }
+
+  for (const ProfileSnapshot& snap : trace.snapshots) {
+    ProgressReport report = estimator.Estimate(snap);
+    const double true_count = TrueCountProgress(snap, final_snap);
+    const double time_frac = total > 0 ? snap.time_ms / total : 1.0;
+
+    eval.error_count += std::abs(report.query_progress - true_count);
+    eval.error_time += std::abs(report.query_progress - time_frac);
+    eval.observations++;
+
+    for (int i = 0; i < plan.size(); ++i) {
+      const OperatorProfile& prof = snap.operators[i];
+      const OperatorProfile& final_prof = final_snap.operators[i];
+      OperatorError& err = eval.operator_errors[i];
+
+      // Per-operator count error: progress ratio with estimated vs true N.
+      const double n_true = static_cast<double>(final_prof.row_count);
+      if (prof.opened && n_true > 0) {
+        const double k = static_cast<double>(prof.row_count);
+        const double est_ratio =
+            std::clamp(k / std::max(1.0, report.refined_rows[i]), 0.0, 1.0);
+        const double true_ratio = std::clamp(k / n_true, 0.0, 1.0);
+        err.count_error += std::abs(est_ratio - true_ratio);
+        err.count_observations++;
+      }
+
+      // Per-operator time error: estimator's displayed operator progress vs
+      // the operator's own activity-time fraction.
+      const double t0 = final_prof.open_time_ms;
+      const double t1 = final_prof.last_active_ms;
+      if (t0 >= 0 && t1 > t0 && snap.time_ms >= t0 && snap.time_ms <= t1) {
+        const double op_time_frac = (snap.time_ms - t0) / (t1 - t0);
+        err.time_error +=
+            std::abs(report.operator_progress[i] - op_time_frac);
+        err.time_observations++;
+      }
+    }
+  }
+
+  if (eval.observations > 0) {
+    eval.error_count /= eval.observations;
+    eval.error_time /= eval.observations;
+  }
+  for (OperatorError& err : eval.operator_errors) {
+    if (err.count_observations > 0) err.count_error /= err.count_observations;
+    if (err.time_observations > 0) err.time_error /= err.time_observations;
+  }
+  return eval;
+}
+
+std::vector<ProgressSample> ProgressCurve(const Plan& plan,
+                                          const Catalog& catalog,
+                                          const ProfileTrace& trace,
+                                          const EstimatorOptions& options) {
+  std::vector<ProgressSample> curve;
+  ProgressEstimator estimator(&plan, &catalog, options);
+  const double total = trace.total_elapsed_ms;
+  curve.reserve(trace.snapshots.size());
+  for (const ProfileSnapshot& snap : trace.snapshots) {
+    ProgressReport report = estimator.Estimate(snap);
+    ProgressSample s;
+    s.time_ms = snap.time_ms;
+    s.estimated = report.query_progress;
+    s.true_count = TrueCountProgress(snap, trace.final_snapshot);
+    s.time_fraction = total > 0 ? snap.time_ms / total : 1.0;
+    curve.push_back(s);
+  }
+  return curve;
+}
+
+}  // namespace lqs

@@ -1,0 +1,61 @@
+#ifndef LQS_LQS_METRICS_H_
+#define LQS_LQS_METRICS_H_
+
+#include <vector>
+
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "lqs/estimator.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// Per-operator-instance error over one query's trace.
+struct OperatorError {
+  int node_id = -1;
+  OpType type = OpType::kTableScan;
+  /// Average |K/N̂ − K/N_true| over observations (the §5.1 per-operator
+  /// Error_count variant, Figure 15).
+  double count_error = 0;
+  /// Average |operator progress − operator time fraction| over the
+  /// operator's activity window (Figures 17/20).
+  double time_error = 0;
+  int count_observations = 0;
+  int time_observations = 0;
+};
+
+/// §5 error metrics for one query under one estimator configuration.
+struct QueryEvaluation {
+  /// Error_count: average |Prog(Q,t) − Σ K_i(t) / Σ N_i^true| over the
+  /// trace's observations.
+  double error_count = 0;
+  /// Error_time: average |Prog(Q,t) − (t − t_start)/(t_end − t_start)|.
+  double error_time = 0;
+  int observations = 0;
+  std::vector<OperatorError> operator_errors;
+};
+
+/// Replays a query's DMV trace through a ProgressEstimator built with
+/// `options` and computes the §5 metrics. The true N_i come from the
+/// trace's final snapshot.
+QueryEvaluation EvaluateQuery(const Plan& plan, const Catalog& catalog,
+                              const ProfileTrace& trace,
+                              const EstimatorOptions& options);
+
+/// Progress curve sample (for the figure-style curve benches).
+struct ProgressSample {
+  double time_ms = 0;
+  double estimated = 0;    ///< estimator's query progress
+  double true_count = 0;   ///< GetNext-model progress with true N_i
+  double time_fraction = 0;
+};
+
+/// Full progress-over-time series for one query.
+std::vector<ProgressSample> ProgressCurve(const Plan& plan,
+                                          const Catalog& catalog,
+                                          const ProfileTrace& trace,
+                                          const EstimatorOptions& options);
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_METRICS_H_

@@ -1,0 +1,104 @@
+#include "lqs/pipeline.h"
+
+namespace lqs {
+
+bool IsBlockingEdge(const PlanNode& parent, size_t child_index) {
+  switch (parent.type) {
+    case OpType::kSort:
+    case OpType::kTopNSort:
+    case OpType::kDistinctSort:
+    case OpType::kHashAggregate:
+    case OpType::kEagerSpool:
+      return true;
+    case OpType::kHashJoin:
+      return child_index == 0;  // build side
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+struct Walker {
+  const Plan* plan;
+  PlanAnalysis* out;
+
+  int NewPipeline(int root_node) {
+    PipelineInfo info;
+    info.id = out->pipeline_count();
+    info.root_node = root_node;
+    out->pipelines.push_back(std::move(info));
+    return out->pipelines.back().id;
+  }
+
+  /// Assigns `node` (and its same-pipeline descendants) to pipeline `pid`.
+  /// `inner_nlj` is the id of the innermost NL join whose inner side we are
+  /// on (or -1). Returns true if the subtree below `node` *within this
+  /// pipeline* contains a semi-blocking operator on every... — rather: sets
+  /// separated_by_semi_blocking[n] = true when some same-pipeline descendant
+  /// edge between n and the pipeline leaves crosses a semi-blocking op.
+  bool Assign(const PlanNode& node, int pid, int inner_nlj) {
+    out->pipeline_of_node[node.id] = pid;
+    out->pipelines[pid].nodes.push_back(node.id);
+    out->on_nlj_inner_side[node.id] = inner_nlj >= 0;
+    out->enclosing_nlj[node.id] = inner_nlj;
+
+    bool has_same_pipeline_child = false;
+    bool below_semi_blocking = false;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const PlanNode& child = *node.children[i];
+      if (IsBlockingEdge(node, i)) {
+        int child_pid = NewPipeline(child.id);
+        out->pipelines[pid].child_pipelines.push_back(child_pid);
+        Assign(child, child_pid, -1);
+        continue;
+      }
+      has_same_pipeline_child = true;
+      int child_inner_nlj = inner_nlj;
+      if (node.type == OpType::kNestedLoopJoin && i == 1) {
+        child_inner_nlj = node.id;
+      }
+      bool child_below_semi = Assign(child, pid, child_inner_nlj);
+      // A node is separated from the pipeline's sources by a semi-blocking
+      // operator when a same-pipeline child either is semi-blocking itself
+      // (for NLJ: only when it actually buffers) or is already separated.
+      bool child_is_semi =
+          IsExchange(child.type) ||
+          (child.type == OpType::kNestedLoopJoin && child.buffered_outer);
+      below_semi_blocking = below_semi_blocking || child_is_semi ||
+                            child_below_semi;
+    }
+    out->separated_by_semi_blocking[node.id] = below_semi_blocking;
+
+    if (!has_same_pipeline_child) {
+      // A source of this pipeline: either a leaf access path or a blocking
+      // operator whose output feeds this pipeline (e.g. a Sort). Inner-side
+      // NLJ sources are recorded separately (§3.1.1 excludes them from the
+      // driver set; §4.4(1) adds them back for semi-blocking plans).
+      if (inner_nlj >= 0) {
+        out->pipelines[pid].inner_driver_nodes.push_back(node.id);
+      } else {
+        out->pipelines[pid].driver_nodes.push_back(node.id);
+      }
+    }
+    return below_semi_blocking;
+  }
+};
+
+}  // namespace
+
+PlanAnalysis AnalyzePlan(const Plan& plan) {
+  PlanAnalysis analysis;
+  const int n = plan.size();
+  analysis.pipeline_of_node.assign(n, -1);
+  analysis.separated_by_semi_blocking.assign(n, false);
+  analysis.on_nlj_inner_side.assign(n, false);
+  analysis.enclosing_nlj.assign(n, -1);
+
+  Walker walker{&plan, &analysis};
+  int root_pid = walker.NewPipeline(plan.root->id);
+  walker.Assign(*plan.root, root_pid, -1);
+  return analysis;
+}
+
+}  // namespace lqs

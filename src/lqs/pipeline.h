@@ -1,0 +1,66 @@
+#ifndef LQS_LQS_PIPELINE_H_
+#define LQS_LQS_PIPELINE_H_
+
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace lqs {
+
+/// One pipeline (maximal subtree of concurrently executing operators,
+/// §3.1.1 / Figure 5).
+struct PipelineInfo {
+  int id = -1;
+  /// Topmost node of the pipeline.
+  int root_node = -1;
+  /// All plan-node ids belonging to this pipeline.
+  std::vector<int> nodes;
+  /// Standard driver nodes: pipeline members with no same-pipeline children,
+  /// excluding nodes on the inner side of a Nested Loops join (§3.1.1).
+  std::vector<int> driver_nodes;
+  /// Nested-loops inner-side sources, promoted to drivers when the §4.4(1)
+  /// semi-blocking adjustment is enabled.
+  std::vector<int> inner_driver_nodes;
+  /// Pipelines directly below this one (across blocking boundaries); they
+  /// complete before this pipeline's corresponding input is consumed.
+  std::vector<int> child_pipelines;
+};
+
+/// Static plan decomposition shared by all estimator features.
+struct PlanAnalysis {
+  std::vector<PipelineInfo> pipelines;
+  /// node id -> pipeline id.
+  std::vector<int> pipeline_of_node;
+  /// node id -> true when the path from the node down to its pipeline's
+  /// driver (leaf) nodes passes through at least one semi-blocking operator
+  /// (Exchange, buffered Nested Loops) — the §4.4(2) condition under which
+  /// refinement scales by the immediate child's progress instead of the
+  /// pipeline's driver progress.
+  std::vector<bool> separated_by_semi_blocking;
+  /// node id -> true when the node lies on the inner side of some Nested
+  /// Loops join within its own pipeline.
+  std::vector<bool> on_nlj_inner_side;
+  /// node id -> id of the enclosing Nested Loops join when on its inner
+  /// side, else -1 (innermost such join).
+  std::vector<int> enclosing_nlj;
+
+  int pipeline_count() const { return static_cast<int>(pipelines.size()); }
+};
+
+/// Decomposes the plan into pipelines and computes the per-node flags above.
+///
+/// Blocking boundaries (edges where a new pipeline starts below):
+///  - the input edge of Sort / Top N Sort / Distinct Sort / Hash Aggregate /
+///    Eager Spool,
+///  - the build (first) input edge of a Hash Join.
+/// All other edges — including both Nested Loops inputs, Merge Join inputs
+/// and Exchange inputs — stay within the parent's pipeline.
+PlanAnalysis AnalyzePlan(const Plan& plan);
+
+/// True when the edge from `parent` to its `child_index`-th child is a
+/// blocking boundary per the rules above.
+bool IsBlockingEdge(const PlanNode& parent, size_t child_index);
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_PIPELINE_H_

@@ -1,0 +1,85 @@
+#include "lqs/trace_csv.h"
+
+#include <cstdio>
+
+#include "common/stringf.h"
+#include "lqs/metrics.h"
+
+namespace lqs {
+
+namespace {
+
+/// fopen wrapper returning Status.
+Status OpenForWrite(const std::string& path, FILE** out) {
+  *out = std::fopen(path.c_str(), "w");
+  if (*out == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTraceCsv(const Plan& plan, const ProfileTrace& trace,
+                     const std::string& path) {
+  FILE* f = nullptr;
+  LQS_RETURN_IF_ERROR(OpenForWrite(path, &f));
+  std::fprintf(f,
+               "time_ms,node_id,operator,row_count,estimate_rows,rebinds,"
+               "logical_reads,segments_read,segments_total,cpu_ms,io_ms,"
+               "opened,finished\n");
+  auto write_snapshot = [&](const ProfileSnapshot& snap) {
+    for (const OperatorProfile& op : snap.operators) {
+      std::fprintf(
+          f, "%.3f,%d,\"%s\",%llu,%.1f,%llu,%llu,%llu,%llu,%.4f,%.4f,%d,%d\n",
+          snap.time_ms, op.node_id, OpTypeName(plan.node(op.node_id).type),
+          static_cast<unsigned long long>(op.row_count),
+          op.estimate_row_count,
+          static_cast<unsigned long long>(op.rebind_count),
+          static_cast<unsigned long long>(op.logical_read_count),
+          static_cast<unsigned long long>(op.segment_read_count),
+          static_cast<unsigned long long>(op.segment_total_count),
+          op.cpu_time_ms, op.io_time_ms, op.opened ? 1 : 0,
+          op.finished ? 1 : 0);
+    }
+  };
+  for (const ProfileSnapshot& snap : trace.snapshots) write_snapshot(snap);
+  write_snapshot(trace.final_snapshot);
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteProgressCsv(const Plan& plan, const Catalog& catalog,
+                        const ProfileTrace& trace,
+                        const EstimatorOptions& options,
+                        const std::string& path) {
+  FILE* f = nullptr;
+  LQS_RETURN_IF_ERROR(OpenForWrite(path, &f));
+  std::fprintf(f, "time_ms,time_fraction,estimated,true_count");
+  for (int i = 0; i < plan.size(); ++i) std::fprintf(f, ",op_%d", i);
+  std::fprintf(f, "\n");
+
+  ProgressEstimator estimator(&plan, &catalog, options);
+  const double total = trace.total_elapsed_ms;
+  for (const ProfileSnapshot& snap : trace.snapshots) {
+    ProgressReport report = estimator.Estimate(snap);
+    double sum_k = 0;
+    double sum_n = 0;
+    for (size_t i = 0; i < snap.operators.size(); ++i) {
+      sum_k += static_cast<double>(snap.operators[i].row_count);
+      sum_n += static_cast<double>(
+          trace.final_snapshot.operators[i].row_count);
+    }
+    std::fprintf(f, "%.3f,%.5f,%.5f,%.5f", snap.time_ms,
+                 total > 0 ? snap.time_ms / total : 1.0,
+                 report.query_progress, sum_n > 0 ? sum_k / sum_n : 1.0);
+    for (int i = 0; i < plan.size(); ++i) {
+      std::fprintf(f, ",%.5f", report.operator_progress[i]);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace lqs

@@ -1,0 +1,33 @@
+#ifndef LQS_LQS_TRACE_CSV_H_
+#define LQS_LQS_TRACE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "lqs/estimator.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// CSV export for external analysis/plotting of LQS data: the raw DMV
+/// counter trace, and an estimator's progress-over-time curve. Both formats
+/// have a header row; one data row per (snapshot, operator) respectively per
+/// snapshot.
+
+/// Columns: time_ms,node_id,operator,row_count,estimate_rows,rebinds,
+/// logical_reads,segments_read,segments_total,cpu_ms,io_ms,opened,finished.
+Status WriteTraceCsv(const Plan& plan, const ProfileTrace& trace,
+                     const std::string& path);
+
+/// Columns: time_ms,time_fraction,estimated_progress,true_count_progress
+/// plus one operator-progress column per plan node (op_<id>).
+Status WriteProgressCsv(const Plan& plan, const Catalog& catalog,
+                        const ProfileTrace& trace,
+                        const EstimatorOptions& options,
+                        const std::string& path);
+
+}  // namespace lqs
+
+#endif  // LQS_LQS_TRACE_CSV_H_

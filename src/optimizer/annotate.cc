@@ -1,0 +1,574 @@
+#include "optimizer/annotate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/cost_constants.h"
+#include "storage/statistics.h"
+
+namespace lqs {
+
+namespace {
+
+/// Provenance of an output column: which base-table column it carries, if
+/// any. Drives histogram/NDV lookups for predicates and join keys above the
+/// leaves.
+struct ColumnOrigin {
+  std::string table;  // empty = computed / unknown
+  int column = -1;
+
+  bool known() const { return !table.empty(); }
+};
+
+struct AnnotateState {
+  const Catalog* catalog;
+  const Plan* plan;
+  OptimizerOptions options;
+  // Per node id: provenance of each output column.
+  std::vector<std::vector<ColumnOrigin>> origins;
+};
+
+const Histogram* OriginHistogram(const AnnotateState& st,
+                                 const ColumnOrigin& origin) {
+  if (!origin.known()) return nullptr;
+  const TableStatistics* stats = st.catalog->GetStatistics(origin.table);
+  if (stats == nullptr) return nullptr;
+  return &stats->column(origin.column);
+}
+
+/// Distinct-value estimate for a column of a node's output, capped by the
+/// node's (estimated) row count.
+double EstimateNdv(const AnnotateState& st, const PlanNode& node, int column) {
+  const auto& origins = st.origins[node.id];
+  double ndv = std::max(1.0, node.est_rows / 2.0);  // fallback guess
+  if (column >= 0 && column < static_cast<int>(origins.size())) {
+    const Histogram* hist = OriginHistogram(st, origins[column]);
+    if (hist != nullptr) ndv = hist->EstimateDistinct();
+  }
+  return std::max(1.0, std::min(ndv, std::max(1.0, node.est_rows)));
+}
+
+/// Classical selectivity estimation: histograms for column-vs-literal,
+/// independence for AND, inclusion-exclusion for OR, magic constants
+/// elsewhere. These assumptions are the paper's "known hard problem of
+/// cardinality estimation" in miniature.
+double EstimateSelectivity(const AnnotateState& st, const Expr* expr,
+                           const std::vector<ColumnOrigin>& origins) {
+  if (expr == nullptr) return 1.0;
+  switch (expr->kind()) {
+    case Expr::Kind::kAnd:
+      return EstimateSelectivity(st, expr->left(), origins) *
+             EstimateSelectivity(st, expr->right(), origins);
+    case Expr::Kind::kOr: {
+      double a = EstimateSelectivity(st, expr->left(), origins);
+      double b = EstimateSelectivity(st, expr->right(), origins);
+      return a + b - a * b;
+    }
+    case Expr::Kind::kCompare: {
+      int column = -1;
+      CompareOp op = CompareOp::kEq;
+      Value literal;
+      if (expr->AsColumnCompareLiteral(&column, &op, &literal) &&
+          column < static_cast<int>(origins.size())) {
+        const Histogram* hist = OriginHistogram(st, origins[column]);
+        if (hist != nullptr) return hist->EstimateSelectivity(op, literal);
+      }
+      return op == CompareOp::kEq ? 0.1 : 0.3;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+/// Deterministic stale-statistics emulation: scales a selectivity by
+/// exp(U(-e, e)), seeded by (seed, node id).
+double AmplifyError(const AnnotateState& st, int node_id, double sel) {
+  if (st.options.selectivity_error <= 0.0) return sel;
+  Rng rng(st.options.seed * 0x9e3779b97f4a7c15ULL +
+          static_cast<uint64_t>(node_id));
+  double e = st.options.selectivity_error;
+  double factor = std::exp((rng.NextDouble() * 2.0 - 1.0) * e);
+  return std::clamp(sel * factor, 1e-7, 1.0);
+}
+
+double PredCpuPerRow(const Expr* expr) {
+  return expr == nullptr ? 0.0 : expr->NodeCount() * cost::kCpuPredNodeMs;
+}
+
+double SpillIoMs(double rows) {
+  if (rows <= static_cast<double>(cost::kMemoryRows)) return 0.0;
+  return 2.0 * (rows / static_cast<double>(kRowsPerPage)) *
+         cost::kIoSpillPageMs;
+}
+
+// Forward declaration.
+Status Annotate(AnnotateState& st, PlanNode& node);
+
+/// Scales every estimate in the subtree by `factor` (used to convert
+/// per-execution estimates of a NL inner subtree to totals).
+void ScaleSubtree(PlanNode& node, double factor) {
+  node.VisitMutable([factor](PlanNode& n) {
+    n.est_rows *= factor;
+    n.est_cpu_ms *= factor;
+    n.est_io_ms *= factor;
+    n.est_rebinds *= factor;
+  });
+}
+
+Status AnnotateScan(AnnotateState& st, PlanNode& node) {
+  const Table* table = st.catalog->GetTable(node.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("annotate: unknown table " + node.table_name);
+  }
+  const double table_rows = static_cast<double>(table->num_rows());
+  const auto& origins = st.origins[node.id];
+
+  double sel = 1.0;
+  if (node.pushed_predicate != nullptr) {
+    sel = AmplifyError(st, node.id,
+                       EstimateSelectivity(st, node.pushed_predicate.get(),
+                                           origins));
+  }
+  // Bitmap semi-join reduction (§4.3): estimated as the fraction of the
+  // probe column's domain covered by the (estimated) build keys. Often very
+  // wrong in practice — which is the point.
+  if (node.bitmap_source_id >= 0) {
+    const PlanNode& source = st.plan->node(node.bitmap_source_id);
+    double probe_ndv = EstimateNdv(st, node, node.bitmap_probe_column);
+    double build_keys = std::max(1.0, source.est_rows);
+    sel *= std::clamp(build_keys / probe_ndv, 0.0, 1.0);
+  }
+
+  double scanned_rows = table_rows;  // rows examined by the access path
+  double io_ms = 0.0;
+  double cpu_ms = 0.0;
+  switch (node.type) {
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kIndexScan: {
+      io_ms = static_cast<double>(table->num_pages()) *
+              cost::kIoSequentialPageMs;
+      cpu_ms = scanned_rows *
+               (cost::kCpuScanRowMs + PredCpuPerRow(node.pushed_predicate.get()));
+      node.est_rows = table_rows * sel;
+      break;
+    }
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexSeek: {
+      // Range selectivity from the seek bounds when they are literals;
+      // correlated seeks estimate one key group per execution.
+      int key_col = table->clustered_column();
+      if (node.type == OpType::kIndexSeek) {
+        const OrderedIndex* idx = table->GetIndex(node.index_name);
+        if (idx == nullptr)
+          return Status::NotFound("annotate: unknown index " +
+                                  node.index_name);
+        key_col = idx->key_column();
+      }
+      const TableStatistics* stats = st.catalog->GetStatistics(node.table_name);
+      double range_sel = 1.0;
+      bool correlated = false;
+      auto bound_sel = [&](const Expr* bound, CompareOp op) -> double {
+        if (bound == nullptr) return 1.0;
+        if (bound->kind() == Expr::Kind::kLiteral && stats != nullptr) {
+          return stats->column(key_col).EstimateSelectivity(op,
+                                                            bound->literal());
+        }
+        correlated = true;
+        return 1.0;
+      };
+      double lo = bound_sel(node.seek_lo.get(), CompareOp::kGe);
+      double hi = bound_sel(node.seek_hi.get(), CompareOp::kLe);
+      range_sel = std::clamp(lo + hi - 1.0, 0.0, 1.0);
+      if (correlated) {
+        // Equality on the key per execution.
+        double ndv = stats != nullptr
+                         ? stats->column(key_col).EstimateDistinct()
+                         : std::max(1.0, table_rows / 2);
+        range_sel = 1.0 / std::max(1.0, ndv);
+      }
+      range_sel = AmplifyError(st, node.id, range_sel);
+      scanned_rows = table_rows * range_sel;
+      node.est_rows = scanned_rows * sel;
+      double pages = std::max(1.0, scanned_rows /
+                                       static_cast<double>(kRowsPerPage));
+      io_ms = cost::kIoRandomPageMs +
+              (pages - 1.0) * cost::kIoSequentialPageMs;
+      cpu_ms = cost::kCpuSeekMs +
+               scanned_rows * (cost::kCpuScanRowMs +
+                               PredCpuPerRow(node.pushed_predicate.get()));
+      break;
+    }
+    case OpType::kColumnstoreScan: {
+      const ColumnstoreIndex* csi = st.catalog->GetColumnstore(node.table_name);
+      double segments = csi != nullptr
+                            ? static_cast<double>(csi->num_segments())
+                            : std::max(1.0, table_rows / kRowsPerSegment);
+      io_ms = segments * cost::kIoSegmentMs;
+      cpu_ms = scanned_rows * (cost::kCpuBatchRowMs +
+                               0.5 * PredCpuPerRow(node.pushed_predicate.get()));
+      node.est_rows = table_rows * sel;
+      break;
+    }
+    case OpType::kRidLookup: {
+      // Per execution: one random page. Totals applied by the enclosing NLJ.
+      node.est_rows = sel;  // one row per lookup, times pushed-pred sel
+      io_ms = cost::kIoRandomPageMs;
+      cpu_ms = cost::kCpuScanRowMs;
+      break;
+    }
+    default:
+      return Status::Internal("AnnotateScan: not a scan");
+  }
+  node.est_rows = std::max(0.0, node.est_rows);
+  node.est_cpu_ms = cpu_ms;
+  node.est_io_ms = io_ms;
+  node.est_rebinds = 1;
+  return Status::OK();
+}
+
+/// Derives column provenance for `node` from its children (parallels the
+/// schema derivation in plan.cc).
+void DeriveOrigins(AnnotateState& st, PlanNode& node) {
+  std::vector<ColumnOrigin>& out = st.origins[node.id];
+  out.clear();
+  auto table_origins = [&](const std::string& table) {
+    const Table* t = st.catalog->GetTable(table);
+    if (t == nullptr) return;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      out.push_back({table, static_cast<int>(c)});
+    }
+  };
+  switch (node.type) {
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexScan:
+    case OpType::kColumnstoreScan:
+    case OpType::kRidLookup:
+      table_origins(node.table_name);
+      break;
+    case OpType::kIndexSeek: {
+      const Table* t = st.catalog->GetTable(node.table_name);
+      const OrderedIndex* idx =
+          t == nullptr ? nullptr : t->GetIndex(node.index_name);
+      if (idx != nullptr) out.push_back({node.table_name, idx->key_column()});
+      else out.push_back({});
+      out.push_back({});  // rid
+      break;
+    }
+    case OpType::kConstantScan:
+      out.resize(node.output_schema.num_columns());
+      break;
+    case OpType::kComputeScalar: {
+      out = st.origins[node.child(0)->id];
+      // Computed columns: pass through provenance of a bare column ref.
+      for (const auto& p : node.projections) {
+        if (p->kind() == Expr::Kind::kColumn) {
+          out.push_back(out[p->column_index()]);
+        } else {
+          out.push_back({});
+        }
+      }
+      break;
+    }
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin:
+    case OpType::kNestedLoopJoin: {
+      const auto& outer = st.origins[node.child(0)->id];
+      const auto& inner = st.origins[node.child(1)->id];
+      switch (node.join_kind) {
+        case JoinKind::kLeftSemi:
+        case JoinKind::kLeftAnti:
+          out = outer;
+          break;
+        case JoinKind::kRightSemi:
+          out = inner;
+          break;
+        default:
+          out = outer;
+          out.insert(out.end(), inner.begin(), inner.end());
+          break;
+      }
+      break;
+    }
+    case OpType::kHashAggregate:
+    case OpType::kStreamAggregate: {
+      const auto& in = st.origins[node.child(0)->id];
+      for (int g : node.group_columns) out.push_back(in[g]);
+      out.resize(out.size() + node.aggregates.size());
+      break;
+    }
+    default:
+      if (!node.children.empty()) out = st.origins[node.child(0)->id];
+      break;
+  }
+  // Defensive: keep origin arity in sync with the schema.
+  out.resize(node.output_schema.num_columns());
+}
+
+Status AnnotateJoin(AnnotateState& st, PlanNode& node) {
+  PlanNode& outer = *node.children[0];
+  PlanNode& inner = *node.children[1];
+  const double n_outer = std::max(0.0, outer.est_rows);
+  const double n_inner = std::max(0.0, inner.est_rows);
+
+  // Equijoin selectivity by containment: |O ⋈ I| = |O|·|I| / max(ndv_O, ndv_I).
+  double join_rows;
+  if (!node.outer_keys.empty()) {
+    double ndv_o = 1.0;
+    double ndv_i = 1.0;
+    for (size_t i = 0; i < node.outer_keys.size(); ++i) {
+      ndv_o = std::max(ndv_o, EstimateNdv(st, outer, node.outer_keys[i]));
+      ndv_i = std::max(ndv_i, EstimateNdv(st, inner, node.inner_keys[i]));
+    }
+    join_rows = n_outer * n_inner / std::max(ndv_o, ndv_i);
+  } else {
+    join_rows = n_outer * n_inner;  // cross product
+  }
+  if (node.predicate != nullptr) {
+    join_rows *= EstimateSelectivity(st, node.predicate.get(),
+                                     st.origins[node.id]);
+  }
+
+  // Match probability of a preserved-side row (for semi/anti/outer kinds).
+  double p_outer_match =
+      n_outer > 0 ? std::clamp(join_rows / n_outer, 0.0, 1.0) : 0.0;
+  double p_inner_match =
+      n_inner > 0 ? std::clamp(join_rows / n_inner, 0.0, 1.0) : 0.0;
+
+  switch (node.join_kind) {
+    case JoinKind::kInner:
+      node.est_rows = join_rows;
+      break;
+    case JoinKind::kLeftOuter:
+      node.est_rows = join_rows + n_outer * (1.0 - p_outer_match);
+      break;
+    case JoinKind::kRightOuter:
+      node.est_rows = join_rows + n_inner * (1.0 - p_inner_match);
+      break;
+    case JoinKind::kFullOuter:
+      node.est_rows = join_rows + n_outer * (1.0 - p_outer_match) +
+                      n_inner * (1.0 - p_inner_match);
+      break;
+    case JoinKind::kLeftSemi:
+      node.est_rows = n_outer * p_outer_match;
+      break;
+    case JoinKind::kLeftAnti:
+      node.est_rows = n_outer * (1.0 - p_outer_match);
+      break;
+    case JoinKind::kRightSemi:
+      node.est_rows = n_inner * p_inner_match;
+      break;
+  }
+
+  switch (node.type) {
+    case OpType::kHashJoin:
+      // Each emitted row costs another probe-table touch, matching the
+      // executor's per-match charge.
+      node.est_cpu_ms = n_outer * cost::kCpuHashBuildRowMs +
+                        (n_inner + node.est_rows) * cost::kCpuHashProbeRowMs;
+      node.est_io_ms = SpillIoMs(n_outer);
+      break;
+    case OpType::kMergeJoin:
+      node.est_cpu_ms = (n_outer + n_inner) * cost::kCpuMergeRowMs +
+                        node.est_rows * cost::kCpuMergeRowMs;
+      node.est_io_ms = 0;
+      break;
+    case OpType::kNestedLoopJoin: {
+      node.est_cpu_ms = n_outer * cost::kCpuNljRowMs +
+                        node.est_rows * cost::kCpuNljRowMs;
+      node.est_io_ms = 0;
+      // The inner subtree executes once per outer row: convert its
+      // per-execution estimates to totals (the DMV reports cumulative
+      // counts). est_rebinds records the estimated executions.
+      double executions = std::max(1.0, n_outer);
+      ScaleSubtree(inner, executions);
+      inner.VisitMutable(
+          [](PlanNode& n) { n.est_rebinds = std::max(n.est_rebinds, 1.0); });
+      // est_rebinds of the direct inner child = estimated executions.
+      inner.est_rebinds = executions;
+      break;
+    }
+    default:
+      return Status::Internal("AnnotateJoin: not a join");
+  }
+  node.est_rebinds = 1;
+  return Status::OK();
+}
+
+Status Annotate(AnnotateState& st, PlanNode& node) {
+  for (auto& c : node.children) LQS_RETURN_IF_ERROR(Annotate(st, *c));
+  DeriveOrigins(st, node);
+
+  switch (node.type) {
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexScan:
+    case OpType::kIndexSeek:
+    case OpType::kColumnstoreScan:
+    case OpType::kRidLookup: {
+      LQS_RETURN_IF_ERROR(AnnotateScan(st, node));
+      if (node.type == OpType::kIndexSeek) {
+        // Seeks output (key, rid) with no pushed predicate applied here.
+        const Table* t = st.catalog->GetTable(node.table_name);
+        (void)t;
+      }
+      return Status::OK();
+    }
+    case OpType::kConstantScan:
+      node.est_rows = static_cast<double>(node.constant_rows.size());
+      node.est_cpu_ms = node.est_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = 0;
+      return Status::OK();
+    default:
+      break;
+  }
+
+  const PlanNode* child0 = node.children.empty() ? nullptr : node.child(0);
+  const double in_rows = child0 == nullptr ? 0 : std::max(0.0, child0->est_rows);
+
+  switch (node.type) {
+    case OpType::kFilter: {
+      double sel = AmplifyError(
+          st, node.id,
+          EstimateSelectivity(st, node.predicate.get(),
+                              st.origins[child0->id]));
+      node.est_rows = in_rows * sel;
+      node.est_cpu_ms =
+          in_rows * (cost::kCpuFilterRowMs + PredCpuPerRow(node.predicate.get()));
+      node.est_io_ms = 0;
+      break;
+    }
+    case OpType::kComputeScalar:
+      node.est_rows = in_rows;
+      node.est_cpu_ms = in_rows * cost::kCpuComputeRowMs *
+                        std::max<size_t>(1, node.projections.size());
+      node.est_io_ms = 0;
+      break;
+    case OpType::kTop:
+      node.est_rows = node.top_n >= 0
+                          ? std::min(in_rows, static_cast<double>(node.top_n))
+                          : in_rows;
+      node.est_cpu_ms = node.est_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = 0;
+      break;
+    case OpType::kSegment:
+      node.est_rows = in_rows;
+      node.est_cpu_ms = in_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = 0;
+      break;
+    case OpType::kConcatenation: {
+      node.est_rows = 0;
+      for (const auto& c : node.children) node.est_rows += c->est_rows;
+      node.est_cpu_ms = node.est_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = 0;
+      break;
+    }
+    case OpType::kBitmapCreate:
+      node.est_rows = in_rows;
+      node.est_cpu_ms = in_rows * cost::kCpuBitmapInsertRowMs;
+      node.est_io_ms = 0;
+      break;
+    case OpType::kSort:
+      node.est_rows = in_rows;
+      node.est_cpu_ms =
+          in_rows * cost::kCpuSortInputRowMs +
+          in_rows * std::log2(std::max(2.0, in_rows)) * cost::kCpuSortRowMs +
+          in_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = SpillIoMs(in_rows);
+      break;
+    case OpType::kDistinctSort: {
+      double ndv = in_rows / 2;
+      if (!node.sort_columns.empty()) {
+        ndv = 1.0;
+        for (int c : node.sort_columns) {
+          ndv *= EstimateNdv(st, *child0, c);
+        }
+      }
+      node.est_rows = std::min(in_rows, std::max(1.0, ndv));
+      node.est_cpu_ms =
+          in_rows * cost::kCpuSortInputRowMs +
+          in_rows * std::log2(std::max(2.0, in_rows)) * cost::kCpuSortRowMs +
+          node.est_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = SpillIoMs(in_rows);
+      break;
+    }
+    case OpType::kTopNSort: {
+      double n = node.top_n >= 0 ? static_cast<double>(node.top_n) : in_rows;
+      node.est_rows = std::min(in_rows, n);
+      node.est_cpu_ms = in_rows * (cost::kCpuSortInputRowMs +
+                                   std::log2(std::max(2.0, n)) *
+                                       cost::kCpuSortRowMs) +
+                        node.est_rows * cost::kCpuRowPassMs;
+      node.est_io_ms = 0;
+      break;
+    }
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin:
+    case OpType::kNestedLoopJoin:
+      return AnnotateJoin(st, node);
+    case OpType::kHashAggregate:
+    case OpType::kStreamAggregate: {
+      double groups = 1.0;
+      if (!node.group_columns.empty()) {
+        groups = 1.0;
+        for (int g : node.group_columns) {
+          groups *= EstimateNdv(st, *child0, g);
+        }
+        groups = std::min(groups, std::max(1.0, in_rows / 2.0));
+      }
+      node.est_rows = std::max(1.0, groups);
+      if (node.type == OpType::kHashAggregate) {
+        node.est_cpu_ms = in_rows * cost::kCpuAggInputRowMs +
+                          node.est_rows * cost::kCpuAggOutputRowMs;
+        node.est_io_ms = SpillIoMs(groups);
+      } else {
+        node.est_cpu_ms = in_rows * cost::kCpuStreamAggRowMs;
+        node.est_io_ms = 0;
+      }
+      break;
+    }
+    case OpType::kEagerSpool:
+    case OpType::kLazySpool:
+      // Output totals across rebinds are unknown at plan time; assume one
+      // pass (the bounding logic marks spool upper bounds unbounded).
+      node.est_rows = in_rows;
+      node.est_cpu_ms = in_rows * (cost::kCpuSpoolWriteRowMs +
+                                   cost::kCpuSpoolReadRowMs);
+      node.est_io_ms = 0;
+      break;
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      node.est_rows = in_rows;
+      node.est_cpu_ms = in_rows * (cost::kCpuExchangeBufferRowMs +
+                                   cost::kCpuExchangeRowMs);
+      node.est_io_ms = 0;
+      break;
+    default:
+      return Status::Internal("Annotate: unhandled operator");
+  }
+  node.est_rebinds = 1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AnnotatePlan(Plan* plan, const Catalog& catalog,
+                    const OptimizerOptions& options) {
+  if (plan == nullptr || plan->root == nullptr) {
+    return Status::InvalidArgument("AnnotatePlan: null plan");
+  }
+  AnnotateState st;
+  st.catalog = &catalog;
+  st.plan = plan;
+  st.options = options;
+  st.origins.resize(plan->size());
+  return Annotate(st, *plan->root);
+}
+
+}  // namespace lqs

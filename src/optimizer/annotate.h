@@ -1,0 +1,37 @@
+#ifndef LQS_OPTIMIZER_ANNOTATE_H_
+#define LQS_OPTIMIZER_ANNOTATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// Controls the cardinality-estimation pass. The estimator is intentionally
+/// a classical one — histograms, attribute-independence, containment — so it
+/// errs in the same ways the paper's target (the SQL Server optimizer) errs
+/// on skewed/correlated data; `selectivity_error` can amplify that further
+/// to emulate stale statistics.
+struct OptimizerOptions {
+  /// Each base-predicate selectivity estimate is multiplied by a
+  /// deterministic random factor exp(U(-e, e)); 0 disables.
+  double selectivity_error = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Fills est_rows / est_cpu_ms / est_io_ms / est_rebinds on every node of
+/// the plan — the "showplan" annotations the client-side progress estimator
+/// consumes (§2.2). Inner subtrees of Nested Loops joins receive TOTAL
+/// estimates across all estimated executions (matching the cumulative
+/// row_count the DMV reports).
+///
+/// The cost formulas mirror the executor's virtual-time charges evaluated at
+/// the ESTIMATED cardinalities, so cost error is driven by cardinality error.
+Status AnnotatePlan(Plan* plan, const Catalog& catalog,
+                    const OptimizerOptions& options);
+
+}  // namespace lqs
+
+#endif  // LQS_OPTIMIZER_ANNOTATE_H_

@@ -1,0 +1,60 @@
+#include "storage/columnstore.h"
+
+#include "common/comparison.h"
+
+namespace lqs {
+
+ColumnstoreIndex::ColumnstoreIndex(std::string name, const Table* table)
+    : name_(std::move(name)), table_(table) {
+  const uint64_t rows = table->num_rows();
+  num_segments_ = (rows + kRowsPerSegment - 1) / kRowsPerSegment;
+  const size_t cols = table->schema().num_columns();
+  per_column_.resize(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    per_column_[c].resize(num_segments_);
+    for (uint64_t s = 0; s < num_segments_; ++s) {
+      SegmentMeta& meta = per_column_[c][s];
+      meta.first_row = s * kRowsPerSegment;
+      meta.num_rows = std::min(kRowsPerSegment, rows - meta.first_row);
+      if (meta.num_rows == 0) continue;
+      meta.min_value = table->row(meta.first_row)[c];
+      meta.max_value = meta.min_value;
+      for (uint64_t r = meta.first_row + 1; r < meta.first_row + meta.num_rows;
+           ++r) {
+        const Value& v = table->row(r)[c];
+        if (v.Compare(meta.min_value) < 0) meta.min_value = v;
+        if (v.Compare(meta.max_value) > 0) meta.max_value = v;
+      }
+    }
+  }
+}
+
+bool ColumnstoreIndex::CanEliminateSegment(int col, uint64_t seg,
+                                           int comparison_op,
+                                           const Value& literal) const {
+  const SegmentMeta& meta = per_column_[col][seg];
+  if (meta.num_rows == 0) return true;
+  auto op = static_cast<CompareOp>(comparison_op);
+  // A segment can be eliminated when no value in [min, max] can satisfy the
+  // predicate.
+  switch (op) {
+    case CompareOp::kEq:
+      return literal.Compare(meta.min_value) < 0 ||
+             literal.Compare(meta.max_value) > 0;
+    case CompareOp::kLt:
+      return meta.min_value.Compare(literal) >= 0;
+    case CompareOp::kLe:
+      return meta.min_value.Compare(literal) > 0;
+    case CompareOp::kGt:
+      return meta.max_value.Compare(literal) <= 0;
+    case CompareOp::kGe:
+      return meta.max_value.Compare(literal) < 0;
+    case CompareOp::kNe:
+      // Only eliminable when the segment holds a single value equal to the
+      // literal.
+      return meta.min_value == meta.max_value && meta.min_value == literal;
+  }
+  return false;
+}
+
+}  // namespace lqs

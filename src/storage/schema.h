@@ -1,0 +1,42 @@
+#ifndef LQS_STORAGE_SCHEMA_H_
+#define LQS_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace lqs {
+
+/// Definition of a single column.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// An ordered list of columns describing rows of a table (or of an
+/// intermediate operator output).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the index of the named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_STORAGE_SCHEMA_H_

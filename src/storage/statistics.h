@@ -1,0 +1,76 @@
+#ifndef LQS_STORAGE_STATISTICS_H_
+#define LQS_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/comparison.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace lqs {
+
+/// Equi-depth histogram over one column, the statistics object the optimizer
+/// consults for selectivity and distinct-count estimation. Deliberately
+/// coarse (default 32 buckets) and optionally built from a sample: the
+/// paper's refinement/bounding techniques exist because optimizer estimates
+/// err, and this is where that error originates in our reproduction.
+class Histogram {
+ public:
+  /// Builds over the given column values. `max_buckets` bounds resolution;
+  /// `sample_rate` in (0, 1] builds from a deterministic sample (stale-stats
+  /// emulation). `seed` drives the sampling.
+  static std::unique_ptr<Histogram> Build(const Table& table, int column,
+                                          int max_buckets = 32,
+                                          double sample_rate = 1.0,
+                                          uint64_t seed = 7);
+
+  /// Estimated fraction of rows satisfying `col op literal`, in [0, 1].
+  double EstimateSelectivity(CompareOp op, const Value& literal) const;
+
+  /// Estimated number of distinct values in the column.
+  double EstimateDistinct() const { return total_distinct_; }
+
+  /// Total rows the histogram believes the column has (scaled up from the
+  /// sample), i.e. the optimizer's view of table cardinality.
+  double EstimateTotalRows() const { return total_rows_; }
+
+  const Value& min_value() const { return min_value_; }
+  const Value& max_value() const { return max_value_; }
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    Value upper;        // inclusive upper bound of bucket range
+    double rows = 0;    // estimated rows in bucket
+    double distinct = 0;  // estimated distinct values in bucket
+  };
+
+  Histogram() = default;
+
+  double total_rows_ = 0;
+  double total_distinct_ = 0;
+  Value min_value_;
+  Value max_value_;
+  std::vector<Bucket> buckets_;
+};
+
+/// Per-table statistics: one histogram per column.
+class TableStatistics {
+ public:
+  TableStatistics(const Table& table, int max_buckets, double sample_rate,
+                  uint64_t seed);
+
+  const Histogram& column(int i) const { return *histograms_[i]; }
+  double table_rows() const { return table_rows_; }
+
+ private:
+  double table_rows_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_STORAGE_STATISTICS_H_

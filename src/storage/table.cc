@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lqs {
+
+OrderedIndex::Range OrderedIndex::Seek(const Value& key) const {
+  return SeekRange(key, key);
+}
+
+OrderedIndex::Range OrderedIndex::SeekRange(const Value& lo,
+                                            const Value& hi) const {
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo,
+                                [](const Value& a, const Value& b) {
+                                  return a.Compare(b) < 0;
+                                });
+  auto end = std::upper_bound(keys_.begin(), keys_.end(), hi,
+                              [](const Value& a, const Value& b) {
+                                return a.Compare(b) < 0;
+                              });
+  Range r;
+  r.begin = static_cast<uint64_t>(begin - keys_.begin());
+  r.end = static_cast<uint64_t>(end - keys_.begin());
+  if (r.end < r.begin) r.end = r.begin;
+  return r;
+}
+
+Status Table::ClusterBy(int column) {
+  if (column < 0 || static_cast<size_t>(column) >= schema_.num_columns()) {
+    return Status::InvalidArgument("ClusterBy: column out of range for " +
+                                   name_);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [column](const Row& a, const Row& b) {
+                     return a[column].Compare(b[column]) < 0;
+                   });
+  clustered_column_ = column;
+  indexes_.clear();
+  return Status::OK();
+}
+
+Status Table::BuildIndex(const std::string& index_name, int column) {
+  if (column < 0 || static_cast<size_t>(column) >= schema_.num_columns()) {
+    return Status::InvalidArgument("BuildIndex: column out of range for " +
+                                   name_);
+  }
+  if (GetIndex(index_name) != nullptr) {
+    return Status::InvalidArgument("index already exists: " + index_name);
+  }
+  std::vector<uint64_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this, column](uint64_t a, uint64_t b) {
+                     return rows_[a][column].Compare(rows_[b][column]) < 0;
+                   });
+  auto index = std::make_unique<OrderedIndex>(index_name, column);
+  for (uint64_t row_id : order) {
+    index->AppendEntry(rows_[row_id][column], row_id);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const OrderedIndex* Table::GetIndex(const std::string& index_name) const {
+  for (const auto& index : indexes_) {
+    if (index->name() == index_name) return index.get();
+  }
+  return nullptr;
+}
+
+const OrderedIndex* Table::FindIndexOnColumn(int column) const {
+  for (const auto& index : indexes_) {
+    if (index->key_column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+}  // namespace lqs

@@ -1,0 +1,115 @@
+#ifndef LQS_STORAGE_TABLE_H_
+#define LQS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace lqs {
+
+/// Rows per heap/index page. Scans charge one logical I/O per page crossed,
+/// which is the signal §4.3's storage-predicate progress technique consumes.
+inline constexpr uint64_t kRowsPerPage = 128;
+
+/// An ordered secondary index over one column of a table. Entries are
+/// (key, row id) pairs sorted by key then row id; Seek() returns the range of
+/// entries equal to a key, which the IndexSeek / RID Lookup operators use.
+class OrderedIndex {
+ public:
+  OrderedIndex(std::string name, int key_column)
+      : name_(std::move(name)), key_column_(key_column) {}
+
+  const std::string& name() const { return name_; }
+  int key_column() const { return key_column_; }
+
+  /// Entry positions [begin, end) whose key equals `key`.
+  struct Range {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+  Range Seek(const Value& key) const;
+
+  /// Entry positions [begin, end) whose key lies in [lo, hi] (inclusive).
+  Range SeekRange(const Value& lo, const Value& hi) const;
+
+  uint64_t num_entries() const { return keys_.size(); }
+  const Value& key_at(uint64_t pos) const { return keys_[pos]; }
+  uint64_t row_id_at(uint64_t pos) const { return row_ids_[pos]; }
+
+  /// Pages occupied by the index leaf level (for I/O accounting).
+  uint64_t num_pages() const {
+    return (keys_.size() + kRowsPerPage - 1) / kRowsPerPage;
+  }
+
+  /// Called by Table::BuildIndex; entries must be added in key order.
+  void AppendEntry(Value key, uint64_t row_id) {
+    keys_.push_back(std::move(key));
+    row_ids_.push_back(row_id);
+  }
+
+ private:
+  std::string name_;
+  int key_column_;
+  std::vector<Value> keys_;
+  std::vector<uint64_t> row_ids_;
+};
+
+/// A heap/row-store table: schema + rows, plus any number of ordered
+/// secondary indexes and at most one "clustered" sort order. Immutable after
+/// load (the paper's workloads are read-only decision-support queries).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  uint64_t num_rows() const { return rows_.size(); }
+  uint64_t num_pages() const {
+    return (rows_.size() + kRowsPerPage - 1) / kRowsPerPage;
+  }
+  const Row& row(uint64_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(uint64_t n) { rows_.reserve(n); }
+
+  /// Sorts the heap by `column` ascending, making it behave like a clustered
+  /// index on that column (Clustered Index Scan/Seek use this order).
+  /// Invalidates previously built secondary indexes; build them afterwards.
+  Status ClusterBy(int column);
+  int clustered_column() const { return clustered_column_; }
+
+  /// Builds an ordered secondary index on `column`.
+  Status BuildIndex(const std::string& index_name, int column);
+
+  /// Index lookup by name (nullptr if absent).
+  const OrderedIndex* GetIndex(const std::string& index_name) const;
+  /// First index keyed on `column` (nullptr if none).
+  const OrderedIndex* FindIndexOnColumn(int column) const;
+
+  const std::vector<std::unique_ptr<OrderedIndex>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+  int clustered_column_ = -1;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_STORAGE_TABLE_H_

@@ -1,0 +1,292 @@
+#ifndef LQS_WORKLOAD_PLAN_BUILDER_H_
+#define LQS_WORKLOAD_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace lqs {
+/// Terse factory helpers for hand-building physical plans (the workload
+/// generators construct plans directly, standing in for a full optimizer's
+/// plan selection; cardinalities/costs still come from optimizer annotation).
+namespace pb {
+
+// ---- Expressions ----
+inline std::unique_ptr<Expr> Col(int i) { return Expr::Column(i); }
+inline std::unique_ptr<Expr> OuterCol(int i) { return Expr::OuterColumn(i); }
+inline std::unique_ptr<Expr> Lit(int64_t v) { return Expr::Literal(Value(v)); }
+inline std::unique_ptr<Expr> LitD(double v) { return Expr::Literal(Value(v)); }
+
+inline std::unique_ptr<Expr> Cmp(CompareOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r) {
+  return Expr::Compare(op, std::move(l), std::move(r));
+}
+/// column <op> integer literal.
+inline std::unique_ptr<Expr> ColCmp(int col, CompareOp op, int64_t v) {
+  return Cmp(op, Col(col), Lit(v));
+}
+inline std::unique_ptr<Expr> ColBetween(int col, int64_t lo, int64_t hi) {
+  return Expr::And(ColCmp(col, CompareOp::kGe, lo),
+                   ColCmp(col, CompareOp::kLe, hi));
+}
+inline std::unique_ptr<Expr> And(std::unique_ptr<Expr> a,
+                                 std::unique_ptr<Expr> b) {
+  return Expr::And(std::move(a), std::move(b));
+}
+inline std::unique_ptr<Expr> Or(std::unique_ptr<Expr> a,
+                                std::unique_ptr<Expr> b) {
+  return Expr::Or(std::move(a), std::move(b));
+}
+
+// ---- Nodes ----
+using NodePtr = std::unique_ptr<PlanNode>;
+
+inline NodePtr MakeNode(OpType type) {
+  auto n = std::make_unique<PlanNode>();
+  n->type = type;
+  return n;
+}
+
+inline NodePtr Scan(const std::string& table,
+                    std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kTableScan);
+  n->table_name = table;
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr CiScan(const std::string& table,
+                      std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kClusteredIndexScan);
+  n->table_name = table;
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr CiSeek(const std::string& table, std::unique_ptr<Expr> lo,
+                      std::unique_ptr<Expr> hi,
+                      std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kClusteredIndexSeek);
+  n->table_name = table;
+  n->seek_lo = std::move(lo);
+  n->seek_hi = std::move(hi);
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr IdxSeek(const std::string& table, const std::string& index,
+                       std::unique_ptr<Expr> lo,
+                       std::unique_ptr<Expr> hi = nullptr) {
+  NodePtr n = MakeNode(OpType::kIndexSeek);
+  n->table_name = table;
+  n->index_name = index;
+  n->seek_lo = std::move(lo);
+  n->seek_hi = std::move(hi);
+  return n;
+}
+
+inline NodePtr IdxScan(const std::string& table, const std::string& index,
+                       std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kIndexScan);
+  n->table_name = table;
+  n->index_name = index;
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr CsScan(const std::string& table,
+                      std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kColumnstoreScan);
+  n->table_name = table;
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr RidLookup(const std::string& table, int rid_outer_column,
+                         std::unique_ptr<Expr> pushed = nullptr) {
+  NodePtr n = MakeNode(OpType::kRidLookup);
+  n->table_name = table;
+  n->rid_outer_column = rid_outer_column;
+  n->pushed_predicate = std::move(pushed);
+  return n;
+}
+
+inline NodePtr Filter(NodePtr child, std::unique_ptr<Expr> pred) {
+  NodePtr n = MakeNode(OpType::kFilter);
+  n->predicate = std::move(pred);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Compute(NodePtr child,
+                       std::vector<std::unique_ptr<Expr>> projections) {
+  NodePtr n = MakeNode(OpType::kComputeScalar);
+  n->projections = std::move(projections);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Top(NodePtr child, int64_t n_rows) {
+  NodePtr n = MakeNode(OpType::kTop);
+  n->top_n = n_rows;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Sort(NodePtr child, std::vector<int> cols) {
+  NodePtr n = MakeNode(OpType::kSort);
+  n->sort_columns = std::move(cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr TopNSort(NodePtr child, std::vector<int> cols, int64_t n_rows) {
+  NodePtr n = MakeNode(OpType::kTopNSort);
+  n->sort_columns = std::move(cols);
+  n->top_n = n_rows;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr DistinctSort(NodePtr child, std::vector<int> cols) {
+  NodePtr n = MakeNode(OpType::kDistinctSort);
+  n->sort_columns = std::move(cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+/// children[0] = build ("outer"), children[1] = probe ("inner").
+inline NodePtr HashJoin(JoinKind kind, NodePtr build, NodePtr probe,
+                        std::vector<int> build_keys,
+                        std::vector<int> probe_keys,
+                        std::unique_ptr<Expr> residual = nullptr) {
+  NodePtr n = MakeNode(OpType::kHashJoin);
+  n->join_kind = kind;
+  n->outer_keys = std::move(build_keys);
+  n->inner_keys = std::move(probe_keys);
+  n->predicate = std::move(residual);
+  n->children.push_back(std::move(build));
+  n->children.push_back(std::move(probe));
+  return n;
+}
+
+inline NodePtr MergeJoin(JoinKind kind, NodePtr outer, NodePtr inner,
+                         std::vector<int> outer_keys,
+                         std::vector<int> inner_keys) {
+  NodePtr n = MakeNode(OpType::kMergeJoin);
+  n->join_kind = kind;
+  n->outer_keys = std::move(outer_keys);
+  n->inner_keys = std::move(inner_keys);
+  n->children.push_back(std::move(outer));
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+/// Nested Loops; inner may reference the outer row via OuterCol(...).
+inline NodePtr Nlj(JoinKind kind, NodePtr outer, NodePtr inner,
+                   std::unique_ptr<Expr> residual = nullptr,
+                   bool buffered = false) {
+  NodePtr n = MakeNode(OpType::kNestedLoopJoin);
+  n->join_kind = kind;
+  n->predicate = std::move(residual);
+  n->buffered_outer = buffered;
+  n->children.push_back(std::move(outer));
+  n->children.push_back(std::move(inner));
+  return n;
+}
+
+inline AggSpec Count() { return AggSpec{AggSpec::Func::kCount, -1}; }
+inline AggSpec Sum(int col) { return AggSpec{AggSpec::Func::kSum, col}; }
+inline AggSpec Min(int col) { return AggSpec{AggSpec::Func::kMin, col}; }
+inline AggSpec Max(int col) { return AggSpec{AggSpec::Func::kMax, col}; }
+inline AggSpec Avg(int col) { return AggSpec{AggSpec::Func::kAvg, col}; }
+
+inline NodePtr HashAgg(NodePtr child, std::vector<int> group_cols,
+                       std::vector<AggSpec> aggs) {
+  NodePtr n = MakeNode(OpType::kHashAggregate);
+  n->group_columns = std::move(group_cols);
+  n->aggregates = std::move(aggs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr StreamAgg(NodePtr child, std::vector<int> group_cols,
+                         std::vector<AggSpec> aggs) {
+  NodePtr n = MakeNode(OpType::kStreamAggregate);
+  n->group_columns = std::move(group_cols);
+  n->aggregates = std::move(aggs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Gather(NodePtr child) {
+  NodePtr n = MakeNode(OpType::kGatherStreams);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Repartition(NodePtr child) {
+  NodePtr n = MakeNode(OpType::kRepartitionStreams);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr EagerSpool(NodePtr child) {
+  NodePtr n = MakeNode(OpType::kEagerSpool);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr LazySpool(NodePtr child) {
+  NodePtr n = MakeNode(OpType::kLazySpool);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Concat(std::vector<NodePtr> children) {
+  NodePtr n = MakeNode(OpType::kConcatenation);
+  for (auto& c : children) n->children.push_back(std::move(c));
+  return n;
+}
+
+inline NodePtr BitmapCreate(NodePtr child, int key_column) {
+  NodePtr n = MakeNode(OpType::kBitmapCreate);
+  n->bitmap_key_column = key_column;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr Segment(NodePtr child, std::vector<int> group_cols) {
+  NodePtr n = MakeNode(OpType::kSegment);
+  n->group_columns = std::move(group_cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+inline NodePtr ConstantScan(std::vector<Row> rows) {
+  NodePtr n = MakeNode(OpType::kConstantScan);
+  n->constant_rows = std::move(rows);
+  return n;
+}
+
+/// Wires a probe-side scan to a BitmapCreate node. Must be called after
+/// FinalizePlan assigned ids — instead we wire by pointer before
+/// finalization: see Workloads that call LinkBitmap(plan) post-finalize.
+inline void ProbeBitmap(PlanNode* scan, int probe_column) {
+  scan->bitmap_probe_column = probe_column;
+  scan->bitmap_source_id = -2;  // resolved by LinkBitmaps after finalize
+}
+
+}  // namespace pb
+
+/// Resolves bitmap probe references: any scan with bitmap_source_id == -2 is
+/// linked to the unique BitmapCreate node in the plan (plans built here use
+/// at most one). Call after FinalizePlan.
+Status LinkBitmaps(Plan* plan);
+
+}  // namespace lqs
+
+#endif  // LQS_WORKLOAD_PLAN_BUILDER_H_

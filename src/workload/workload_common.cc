@@ -1,0 +1,45 @@
+#include "workload/datagen.h"
+#include "workload/plan_builder.h"
+#include "workload/workload.h"
+
+namespace lqs {
+
+std::unique_ptr<Table> BuildTable(
+    const std::string& name, Schema schema, uint64_t num_rows, uint64_t seed,
+    const std::function<Row(uint64_t, Rng&)>& gen) {
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  table->Reserve(num_rows);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    table->AppendRow(gen(i, rng));
+  }
+  return table;
+}
+
+Status LinkBitmaps(Plan* plan) {
+  int bitmap_node = -1;
+  plan->root->Visit([&bitmap_node](const PlanNode& n) {
+    if (n.type == OpType::kBitmapCreate) bitmap_node = n.id;
+  });
+  Status status = Status::OK();
+  plan->root->VisitMutable([&](PlanNode& n) {
+    if (n.bitmap_source_id == -2) {
+      if (bitmap_node < 0) {
+        status = Status::InvalidArgument(
+            "plan probes a bitmap but has no Bitmap Create node");
+        return;
+      }
+      n.bitmap_source_id = bitmap_node;
+    }
+  });
+  return status;
+}
+
+Status AnnotateWorkload(Workload* workload, const OptimizerOptions& options) {
+  for (WorkloadQuery& q : workload->queries) {
+    LQS_RETURN_IF_ERROR(AnnotatePlan(&q.plan, *workload->catalog, options));
+  }
+  return Status::OK();
+}
+
+}  // namespace lqs

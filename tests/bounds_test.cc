@@ -1,0 +1,224 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "lqs/bounds.h"
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+#include "workload/workload.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+class BoundsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = MakeTestCatalog(); }
+
+  /// Runs the plan with frequent snapshots and asserts the Appendix A
+  /// soundness invariant at every snapshot: LB_i <= N_i^true <= UB_i.
+  void CheckSoundness(const Plan& plan, const char* label) {
+    ExecOptions exec;
+    exec.snapshot_interval_ms = 2.0;
+    auto result = MustExecute(plan, catalog_.get(), exec);
+    const auto& fin = result.trace.final_snapshot;
+    for (const auto& snap : result.trace.snapshots) {
+      CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+      for (int i = 0; i < plan.size(); ++i) {
+        const double n_true = static_cast<double>(fin.operators[i].row_count);
+        EXPECT_LE(b.lower[i], n_true + 1e-9)
+            << label << " node " << i << " ("
+            << OpTypeName(plan.node(i).type) << ") at t=" << snap.time_ms;
+        EXPECT_GE(b.upper[i], n_true - 1e-9)
+            << label << " node " << i << " ("
+            << OpTypeName(plan.node(i).type) << ") at t=" << snap.time_ms;
+      }
+    }
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(BoundsTest, FullScanBoundsAreExact) {
+  Plan plan = MustFinalize(Scan("t_big"), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(1);
+  snap.operators[0].row_count = 1234;
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_DOUBLE_EQ(b.lower[0], 5000.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], 5000.0);
+}
+
+TEST_F(BoundsTest, PushedPredicateScanUpperBoundShrinksWithReads) {
+  Plan plan =
+      MustFinalize(Scan("t_big", ColCmp(2, CompareOp::kLt, 1)), *catalog_);
+  ProfileSnapshot early;
+  early.operators.resize(1);
+  early.operators[0].row_count = 10;
+  early.operators[0].logical_read_count = 2;
+  ProfileSnapshot late = early;
+  late.operators[0].logical_read_count = 30;
+  late.operators[0].row_count = 40;
+  CardinalityBounds b_early = ComputeBounds(plan, *catalog_, early);
+  CardinalityBounds b_late = ComputeBounds(plan, *catalog_, late);
+  EXPECT_LT(b_late.upper[0], b_early.upper[0]);
+  EXPECT_GE(b_early.upper[0], b_early.lower[0]);
+}
+
+TEST_F(BoundsTest, FilterBoundFollowsAppendixA) {
+  // Filter over full scan: UB = (UB_child - K_child) + K_filter.
+  Plan plan = MustFinalize(
+      Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 10)), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(2);
+  snap.operators[0].row_count = 100;   // filter output
+  snap.operators[1].row_count = 1000;  // scan output
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_DOUBLE_EQ(b.lower[0], 100.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], (5000.0 - 1000.0) + 100.0);
+}
+
+TEST_F(BoundsTest, JoinBoundFollowsAppendixA) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  snap.operators[0].row_count = 50;    // join output so far
+  snap.operators[1].row_count = 200;   // build (outer) complete
+  snap.operators[1].finished = true;
+  snap.operators[2].row_count = 1000;  // probe (inner)
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  // For Hash Match the streaming input is the probe (children[1]):
+  // UB = (UB_probe - K_probe + 1) * UB_build + K_i
+  //    = (5000 - 1000 + 1) * 200 + 50.
+  EXPECT_DOUBLE_EQ(b.upper[0], (5000.0 - 1000.0 + 1.0) * 200.0 + 50.0);
+  EXPECT_DOUBLE_EQ(b.lower[0], 50.0);
+}
+
+TEST_F(BoundsTest, FinishedOperatorHasExactBounds) {
+  Plan plan = MustFinalize(
+      Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 10)), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(2);
+  snap.operators[0].row_count = 500;
+  snap.operators[0].finished = true;
+  snap.operators[1].row_count = 5000;
+  snap.operators[1].finished = true;
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_DOUBLE_EQ(b.lower[0], 500.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], 500.0);
+}
+
+TEST_F(BoundsTest, ScalarAggregateBoundedByOne) {
+  Plan plan = MustFinalize(HashAgg(Scan("t_big"), {}, {Count()}), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(2);
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_DOUBLE_EQ(b.lower[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], 1.0);
+}
+
+TEST_F(BoundsTest, SortPreservesChildBounds) {
+  Plan plan = MustFinalize(
+      Sort(Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 10)), {0}),
+      *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  snap.operators[1].row_count = 300;   // filter output so far
+  snap.operators[2].row_count = 2000;  // scan
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  // Sort LB = K_child, UB = UB_child.
+  EXPECT_DOUBLE_EQ(b.lower[0], 300.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], b.upper[1]);
+}
+
+TEST_F(BoundsTest, TopNBoundedByN) {
+  Plan plan = MustFinalize(TopNSort(Scan("t_big"), {0}, 10), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(2);
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_LE(b.upper[0], 10.0);
+}
+
+TEST_F(BoundsTest, SpoolUnboundedOnInnerSide) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner, Scan("t_small"),
+          EagerSpool(Filter(Scan("t_small"), ColCmp(1, CompareOp::kEq, 0)))),
+      *catalog_);
+  int spool_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kEagerSpool) spool_id = n.id;
+  });
+  ProfileSnapshot snap;
+  snap.operators.resize(static_cast<size_t>(plan.size()));
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_TRUE(std::isinf(b.upper[spool_id]));
+}
+
+// ---- Soundness property over live executions ----
+
+TEST_F(BoundsTest, SoundOverLiveFilterQuery) {
+  Plan plan = MustFinalize(
+      Sort(Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 37)), {1}),
+      *catalog_);
+  CheckSoundness(plan, "filter+sort");
+}
+
+TEST_F(BoundsTest, SoundOverLiveJoinAggQuery) {
+  Plan plan = MustFinalize(
+      HashAgg(HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0},
+                       {1}),
+              {2}, {Count(), Sum(5)}),
+      *catalog_);
+  CheckSoundness(plan, "join+agg");
+}
+
+TEST_F(BoundsTest, SoundOverLiveNljQuery) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner,
+          Filter(Scan("t_small"), ColCmp(1, CompareOp::kLe, 3)),
+          CiSeek("t_big", OuterCol(0), OuterCol(0)), nullptr,
+          /*buffered=*/true),
+      *catalog_);
+  CheckSoundness(plan, "buffered nlj");
+}
+
+/// Property sweep: Appendix A bounds are sound at every snapshot of every
+/// TPC-H query.
+class BoundsSoundnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsSoundnessSweep, TpchQuerySound) {
+  TpchOptions opt;
+  opt.scale = 0.1;
+  static StatusOr<Workload> workload = MakeTpchWorkload(opt);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_OK(AnnotateWorkload(&workload.value(), OptimizerOptions{}));
+  WorkloadQuery& q = workload->queries[GetParam()];
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 5.0;
+  auto result = ExecuteQuery(q.plan, workload->catalog.get(), exec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& fin = result->trace.final_snapshot;
+  for (const auto& snap : result->trace.snapshots) {
+    CardinalityBounds b = ComputeBounds(q.plan, *workload->catalog, snap);
+    for (int i = 0; i < q.plan.size(); ++i) {
+      const double n_true = static_cast<double>(fin.operators[i].row_count);
+      ASSERT_LE(b.lower[i], n_true + 1e-9)
+          << q.name << " node " << i << " "
+          << OpTypeName(q.plan.node(i).type);
+      ASSERT_GE(b.upper[i], n_true - 1e-9)
+          << q.name << " node " << i << " "
+          << OpTypeName(q.plan.node(i).type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTpchQueries, BoundsSoundnessSweep,
+                         ::testing::Range(0, 22));
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

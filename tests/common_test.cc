@@ -1,0 +1,252 @@
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "common/comparison.h"
+#include "common/op_type.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/stringf.h"
+#include "common/value.h"
+#include "common/virtual_clock.h"
+
+namespace lqs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing table");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "INVALID_ARGUMENT: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OUT_OF_RANGE: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+  EXPECT_EQ(Status::Unimplemented("x").ToString(), "UNIMPLEMENTED: x");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    LQS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, AssignOrReturnMovesValue) {
+  auto producer = []() -> StatusOr<std::string> { return std::string("hi"); };
+  auto consumer = [&]() -> StatusOr<int> {
+    LQS_ASSIGN_OR_RETURN(std::string s, producer());
+    return static_cast<int>(s.size());
+  };
+  auto result = consumer();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(int64_t{5})), 0);
+  EXPECT_GT(Value(int64_t{9}).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_EQ(Value(2.0).Compare(Value(int64_t{2})), 0);
+  EXPECT_LT(Value(1.5).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value(int64_t{3}).Compare(Value(2.5)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value(std::string("abc")).Compare(Value(std::string("abd"))), 0);
+  EXPECT_EQ(Value(std::string("x")).Compare(Value(std::string("x"))), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value(std::string("k")).Hash(), Value(std::string("k")).Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "'hi'");
+  EXPECT_EQ(RowToString({Value(int64_t{1}), Value(int64_t{2})}), "(1, 2)");
+}
+
+TEST(ValueTest, AsConversions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_EQ(Value(3.7).AsInt(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Rng / Zipf
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) equal++;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit over 1000 draws
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, UniformWhenZeroSkew) {
+  ZipfDistribution dist(10, 0.0);
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[dist.Sample(rng)]++;
+  for (auto& [v, c] : counts) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+TEST(ZipfTest, SkewedConcentratesOnSmallValues) {
+  ZipfDistribution dist(1000, 1.0);
+  Rng rng(13);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (dist.Sample(rng) == 1) ones++;
+  }
+  // Under z=1, P(1) = 1/H_1000 ~ 0.13 — two orders above uniform (0.001).
+  EXPECT_GT(ones, 800);
+}
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  ZipfDistribution dist(37, 1.0);
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = dist.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 37u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison / OpType / VirtualClock / StringF
+// ---------------------------------------------------------------------------
+
+TEST(ComparisonTest, ApplyAllOps) {
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kEq, 0));
+  EXPECT_FALSE(ApplyCompareOp(CompareOp::kEq, 1));
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kNe, -1));
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kLt, -1));
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kLe, 0));
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kGt, 1));
+  EXPECT_TRUE(ApplyCompareOp(CompareOp::kGe, 0));
+  EXPECT_FALSE(ApplyCompareOp(CompareOp::kGe, -1));
+}
+
+TEST(OpTypeTest, CategoriesArePartitioned) {
+  for (int i = 0; i < static_cast<int>(OpType::kNumOpTypes); ++i) {
+    OpType t = static_cast<OpType>(i);
+    EXPECT_STRNE(OpTypeName(t), "Unknown") << i;
+    // A scan is never blocking or an exchange.
+    if (IsScan(t)) {
+      EXPECT_FALSE(IsBlocking(t));
+      EXPECT_FALSE(IsExchange(t));
+    }
+    if (IsExchange(t)) {
+      EXPECT_TRUE(IsSemiBlocking(t));
+    }
+  }
+  EXPECT_TRUE(IsBlocking(OpType::kSort));
+  EXPECT_TRUE(IsBlocking(OpType::kHashJoin));
+  EXPECT_FALSE(IsBlocking(OpType::kStreamAggregate));
+  EXPECT_TRUE(IsSemiBlocking(OpType::kNestedLoopJoin));
+  EXPECT_TRUE(IsJoin(OpType::kMergeJoin));
+  EXPECT_TRUE(IsAggregate(OpType::kHashAggregate));
+  EXPECT_TRUE(IsSpool(OpType::kLazySpool));
+  EXPECT_TRUE(IsSortFamily(OpType::kTopNSort));
+}
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  clock.AdvanceMs(1.5);
+  clock.AdvanceMs(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 2.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+}
+
+TEST(StringFTest, FormatsAndHandlesLongOutput) {
+  EXPECT_EQ(StringF("%d-%s", 7, "x"), "7-x");
+  std::string big = StringF("%1000d", 5);
+  EXPECT_EQ(big.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace lqs

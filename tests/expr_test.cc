@@ -1,0 +1,157 @@
+#include "gtest/gtest.h"
+
+#include "exec/expr.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+Row MakeRow() { return Row{Value(int64_t{10}), Value(2.5), Value(int64_t{0})}; }
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Row row = MakeRow();
+  EXPECT_EQ(Col(0)->Eval(row, nullptr).AsInt(), 10);
+  EXPECT_DOUBLE_EQ(Col(1)->Eval(row, nullptr).AsDouble(), 2.5);
+  EXPECT_EQ(Lit(7)->Eval(row, nullptr).AsInt(), 7);
+}
+
+TEST(ExprTest, OuterColumnBinding) {
+  Row row = MakeRow();
+  Row outer{Value(int64_t{99})};
+  EXPECT_EQ(OuterCol(0)->Eval(row, &outer).AsInt(), 99);
+}
+
+TEST(ExprTest, ComparisonsYieldBool) {
+  Row row = MakeRow();
+  EXPECT_TRUE(ColCmp(0, CompareOp::kEq, 10)->EvalBool(row, nullptr));
+  EXPECT_FALSE(ColCmp(0, CompareOp::kNe, 10)->EvalBool(row, nullptr));
+  EXPECT_TRUE(ColCmp(0, CompareOp::kGe, 10)->EvalBool(row, nullptr));
+  EXPECT_TRUE(ColCmp(0, CompareOp::kLt, 11)->EvalBool(row, nullptr));
+  EXPECT_TRUE(Cmp(CompareOp::kGt, Col(1), Lit(2))->EvalBool(row, nullptr));
+}
+
+TEST(ExprTest, BooleanShortCircuit) {
+  Row row = MakeRow();
+  // AND with false left never evaluates right (right would be out of range).
+  auto e = And(ColCmp(0, CompareOp::kEq, -1), ColCmp(0, CompareOp::kEq, 10));
+  EXPECT_FALSE(e->EvalBool(row, nullptr));
+  auto o = Or(ColCmp(0, CompareOp::kEq, 10), ColCmp(0, CompareOp::kEq, -1));
+  EXPECT_TRUE(o->EvalBool(row, nullptr));
+}
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  Row row = MakeRow();
+  EXPECT_EQ(Expr::Arith(ArithOp::kAdd, Col(0), Lit(5))
+                ->Eval(row, nullptr)
+                .AsInt(),
+            15);
+  EXPECT_EQ(Expr::Arith(ArithOp::kMul, Col(0), Lit(3))
+                ->Eval(row, nullptr)
+                .AsInt(),
+            30);
+  EXPECT_EQ(Expr::Arith(ArithOp::kMod, Col(0), Lit(3))
+                ->Eval(row, nullptr)
+                .AsInt(),
+            1);
+  EXPECT_DOUBLE_EQ(Expr::Arith(ArithOp::kSub, Col(1), LitD(0.5))
+                       ->Eval(row, nullptr)
+                       .AsDouble(),
+                   2.0);
+  // Division always yields double; division by zero yields 0 (no crash).
+  EXPECT_DOUBLE_EQ(Expr::Arith(ArithOp::kDiv, Col(0), Lit(4))
+                       ->Eval(row, nullptr)
+                       .AsDouble(),
+                   2.5);
+  EXPECT_DOUBLE_EQ(Expr::Arith(ArithOp::kDiv, Col(0), Lit(0))
+                       ->Eval(row, nullptr)
+                       .AsDouble(),
+                   0.0);
+  EXPECT_EQ(Expr::Arith(ArithOp::kMod, Col(0), Lit(0))
+                ->Eval(row, nullptr)
+                .AsInt(),
+            0);
+}
+
+TEST(ExprTest, NodeCountAndClone) {
+  auto e = And(ColCmp(0, CompareOp::kLt, 5),
+               Or(ColCmp(1, CompareOp::kGe, 2), ColCmp(2, CompareOp::kEq, 0)));
+  EXPECT_EQ(e->NodeCount(), 11);  // 2 per leaf-cmp (col+lit) * 3 + 3 cmps...
+  auto clone = e->Clone();
+  EXPECT_EQ(clone->NodeCount(), e->NodeCount());
+  Row row = MakeRow();
+  EXPECT_EQ(clone->EvalBool(row, nullptr), e->EvalBool(row, nullptr));
+}
+
+TEST(ExprTest, AsColumnCompareLiteralDirect) {
+  auto e = ColCmp(2, CompareOp::kLe, 40);
+  int col = -1;
+  CompareOp op = CompareOp::kEq;
+  Value lit;
+  ASSERT_TRUE(e->AsColumnCompareLiteral(&col, &op, &lit));
+  EXPECT_EQ(col, 2);
+  EXPECT_EQ(op, CompareOp::kLe);
+  EXPECT_EQ(lit.AsInt(), 40);
+}
+
+TEST(ExprTest, AsColumnCompareLiteralFlipped) {
+  // 5 < col  ==  col > 5
+  auto e = Cmp(CompareOp::kLt, Lit(5), Col(3));
+  int col = -1;
+  CompareOp op = CompareOp::kEq;
+  Value lit;
+  ASSERT_TRUE(e->AsColumnCompareLiteral(&col, &op, &lit));
+  EXPECT_EQ(col, 3);
+  EXPECT_EQ(op, CompareOp::kGt);
+  EXPECT_EQ(lit.AsInt(), 5);
+}
+
+TEST(ExprTest, AsColumnCompareLiteralRejectsComplex) {
+  int col;
+  CompareOp op;
+  Value lit;
+  EXPECT_FALSE(And(ColCmp(0, CompareOp::kEq, 1), ColCmp(1, CompareOp::kEq, 2))
+                   ->AsColumnCompareLiteral(&col, &op, &lit));
+  EXPECT_FALSE(Cmp(CompareOp::kEq, Col(0), Col(1))
+                   ->AsColumnCompareLiteral(&col, &op, &lit));
+}
+
+TEST(ExprTest, CollectConjuncts) {
+  auto e = And(ColCmp(0, CompareOp::kEq, 1),
+               And(ColCmp(1, CompareOp::kEq, 2), ColCmp(2, CompareOp::kEq, 3)));
+  std::vector<const Expr*> conjuncts;
+  e->CollectConjuncts(&conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  // OR is a single conjunct.
+  auto o = Or(ColCmp(0, CompareOp::kEq, 1), ColCmp(1, CompareOp::kEq, 2));
+  conjuncts.clear();
+  o->CollectConjuncts(&conjuncts);
+  EXPECT_EQ(conjuncts.size(), 1u);
+}
+
+TEST(ExprTest, ResultTypes) {
+  Schema schema({{"i", DataType::kInt64}, {"d", DataType::kDouble}});
+  EXPECT_EQ(Col(0)->ResultType(schema), DataType::kInt64);
+  EXPECT_EQ(Col(1)->ResultType(schema), DataType::kDouble);
+  EXPECT_EQ(ColCmp(0, CompareOp::kEq, 1)->ResultType(schema),
+            DataType::kInt64);
+  EXPECT_EQ(Expr::Arith(ArithOp::kAdd, Col(0), Lit(1))->ResultType(schema),
+            DataType::kInt64);
+  EXPECT_EQ(Expr::Arith(ArithOp::kAdd, Col(1), Lit(1))->ResultType(schema),
+            DataType::kDouble);
+  EXPECT_EQ(Expr::Arith(ArithOp::kDiv, Col(0), Lit(2))->ResultType(schema),
+            DataType::kDouble);
+}
+
+TEST(ExprTest, ToStringRendersReadably) {
+  Schema schema({{"price", DataType::kDouble}});
+  auto e = Cmp(CompareOp::kLe, Col(0), LitD(9.5));
+  EXPECT_EQ(e->ToString(&schema), "(price <= 9.5)");
+  EXPECT_EQ(e->ToString(nullptr), "($0 <= 9.5)");
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

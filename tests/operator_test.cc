@@ -1,0 +1,526 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT: terse plan-building in tests
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = MakeTestCatalog(); }
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(OperatorTest, TableScanReturnsAllRows) {
+  Plan plan = MustFinalize(Scan("t_small"), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 200u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_EQ(rows[199][0].AsInt(), 199);
+}
+
+TEST_F(OperatorTest, TableScanPushedPredicate) {
+  Plan plan =
+      MustFinalize(Scan("t_small", ColCmp(1, CompareOp::kEq, 3)), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 20u);
+  for (const Row& r : rows) EXPECT_EQ(r[1].AsInt(), 3);
+}
+
+TEST_F(OperatorTest, ScanChargesLogicalReads) {
+  Plan plan = MustFinalize(Scan("t_big"), *catalog_);
+  auto result = MustExecute(plan, catalog_.get());
+  const OperatorProfile& p = result.trace.final_snapshot.operators[0];
+  EXPECT_EQ(p.row_count, 5000u);
+  EXPECT_EQ(p.logical_read_count, (5000 + kRowsPerPage - 1) / kRowsPerPage);
+  EXPECT_GT(p.io_time_ms, 0);
+  EXPECT_GT(p.cpu_time_ms, 0);
+}
+
+TEST_F(OperatorTest, ClusteredIndexSeekRange) {
+  Plan plan =
+      MustFinalize(CiSeek("t_big", Lit(100), Lit(199)), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 100u);
+  EXPECT_EQ(rows.front()[0].AsInt(), 100);
+  EXPECT_EQ(rows.back()[0].AsInt(), 199);
+}
+
+TEST_F(OperatorTest, ClusteredIndexSeekOpenEnded) {
+  Plan plan = MustFinalize(CiSeek("t_big", Lit(4990), nullptr), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST_F(OperatorTest, IndexSeekReturnsKeyAndRid) {
+  Plan plan = MustFinalize(IdxSeek("t_small", "ix_b", Lit(4)), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 20u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].AsInt(), 4);
+    // The rid points at a row whose b column is 4.
+    EXPECT_EQ(catalog_->GetTable("t_small")->row(r[1].AsInt())[1].AsInt(), 4);
+  }
+}
+
+TEST_F(OperatorTest, IndexScanOrderedByKey) {
+  Plan plan = MustFinalize(IdxScan("t_big", "ix_fk"), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 5000u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1][1].AsInt(), rows[i][1].AsInt());
+  }
+}
+
+TEST_F(OperatorTest, ColumnstoreScanMatchesTableScan) {
+  Plan cs = MustFinalize(CsScan("t_big", ColCmp(2, CompareOp::kLt, 10)),
+                         *catalog_);
+  Plan ts = MustFinalize(Scan("t_big", ColCmp(2, CompareOp::kLt, 10)),
+                         *catalog_);
+  auto cs_rows = MustExecuteRows(cs, catalog_.get());
+  auto ts_rows = MustExecuteRows(ts, catalog_.get());
+  EXPECT_EQ(cs_rows.size(), ts_rows.size());
+}
+
+TEST_F(OperatorTest, ColumnstoreScanCountsSegments) {
+  Plan plan = MustFinalize(CsScan("t_big"), *catalog_);
+  auto result = MustExecute(plan, catalog_.get());
+  const OperatorProfile& p = result.trace.final_snapshot.operators[0];
+  const uint64_t expect_segments =
+      (5000 + kRowsPerSegment - 1) / kRowsPerSegment;
+  EXPECT_EQ(p.segment_total_count, expect_segments);
+  EXPECT_EQ(p.segment_read_count, expect_segments);
+  EXPECT_EQ(p.row_count, 5000u);
+}
+
+TEST_F(OperatorTest, ColumnstoreSegmentElimination) {
+  // t_big is clustered by k, so a range predicate on k eliminates most
+  // segments via min/max metadata: I/O time should be far below full scan.
+  Plan pruned = MustFinalize(CsScan("t_big", ColCmp(0, CompareOp::kLt, 100)),
+                             *catalog_);
+  Plan full = MustFinalize(CsScan("t_big"), *catalog_);
+  auto pruned_result = MustExecute(pruned, catalog_.get());
+  auto full_result = MustExecute(full, catalog_.get());
+  EXPECT_LT(pruned_result.trace.final_snapshot.operators[0].io_time_ms,
+            full_result.trace.final_snapshot.operators[0].io_time_ms);
+  EXPECT_EQ(pruned_result.rows_returned, 100u);
+}
+
+TEST_F(OperatorTest, FilterSelectsCorrectRows) {
+  Plan plan = MustFinalize(
+      Filter(Scan("t_small"), ColCmp(2, CompareOp::kEq, 0)), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 67u);  // ceil(200 / 3)
+  for (const Row& r : rows) EXPECT_EQ(r[2].AsInt(), 0);
+}
+
+TEST_F(OperatorTest, ComputeScalarAppendsColumns) {
+  Plan plan = MustFinalize(Compute(Scan("t_small"), [] {
+                             std::vector<std::unique_ptr<Expr>> v;
+                             v.push_back(Expr::Arith(ArithOp::kAdd, Col(0),
+                                                     Lit(1000)));
+                             return v;
+                           }()),
+                           *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 200u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[3].AsInt(), r[0].AsInt() + 1000);
+  }
+}
+
+TEST_F(OperatorTest, TopLimitsRows) {
+  Plan plan = MustFinalize(Top(Scan("t_big"), 17), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 17u);
+  // Early termination: the scan must not have read the whole table.
+  auto result = MustExecute(plan, catalog_.get());
+  EXPECT_LT(result.trace.final_snapshot.operators[1].row_count, 5000u);
+}
+
+TEST_F(OperatorTest, SortOrdersRows) {
+  Plan plan = MustFinalize(Sort(Scan("t_big"), {1, 0}), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 5000u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    bool le = rows[i - 1][1].AsInt() < rows[i][1].AsInt() ||
+              (rows[i - 1][1].AsInt() == rows[i][1].AsInt() &&
+               rows[i - 1][0].AsInt() <= rows[i][0].AsInt());
+    EXPECT_TRUE(le) << "row " << i;
+  }
+}
+
+TEST_F(OperatorTest, DistinctSortRemovesDuplicates) {
+  Plan plan = MustFinalize(DistinctSort(Scan("t_big"), {2}), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 100u);  // v = k % 100
+}
+
+TEST_F(OperatorTest, TopNSortReturnsSmallest) {
+  Plan plan = MustFinalize(TopNSort(Scan("t_big"), {0}, 5), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(rows[i][0].AsInt(), i);
+}
+
+TEST_F(OperatorTest, HashJoinInner) {
+  // t_small ⋈ t_big on a = fk: every small row matches 25 big rows.
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 5000u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 7u);
+    EXPECT_EQ(r[0].AsInt(), r[4].AsInt());  // a == fk
+  }
+}
+
+TEST_F(OperatorTest, HashJoinLeftSemi) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kLeftSemi,
+               Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 50)),
+               Scan("t_big"), {0}, {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 50u);
+  for (const Row& r : rows) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(OperatorTest, HashJoinLeftAnti) {
+  // Big rows reference fk 0..199; small rows 0..199 all match => anti with
+  // a filter that removes matches.
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kLeftAnti, Scan("t_small"),
+               Filter(Scan("t_big"), ColCmp(1, CompareOp::kLt, 100)), {0},
+               {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 100u);  // small rows with a >= 100 have no match
+  for (const Row& r : rows) EXPECT_GE(r[0].AsInt(), 100);
+}
+
+TEST_F(OperatorTest, HashJoinLeftOuterPadsUnmatched) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kLeftOuter, Scan("t_small"),
+               Filter(Scan("t_big"), ColCmp(1, CompareOp::kLt, 10)), {0},
+               {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  // fk < 10: 10 keys x 25 matches = 250 joined + 190 padded.
+  EXPECT_EQ(rows.size(), 440u);
+}
+
+TEST_F(OperatorTest, HashJoinRightOuter) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kRightOuter,
+               Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 100)),
+               Scan("t_big"), {0}, {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  // Probe preserved: 2500 matched + 2500 padded.
+  EXPECT_EQ(rows.size(), 5000u);
+}
+
+TEST_F(OperatorTest, HashJoinRightSemi) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kRightSemi,
+               Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 100)),
+               Scan("t_big"), {0}, {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 2500u);
+  for (const Row& r : rows) EXPECT_EQ(r.size(), 4u);
+}
+
+TEST_F(OperatorTest, HashJoinFullOuter) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kFullOuter,
+               Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 100)),
+               Filter(Scan("t_big"), ColCmp(1, CompareOp::kGe, 50)), {0},
+               {1}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  // Matches: keys 50..99 => 50 * 25 = 1250. Unmatched probe: fk 100..199 =>
+  // 2500. Unmatched build: a < 50 => 50.
+  EXPECT_EQ(rows.size(), 1250u + 2500u + 50u);
+}
+
+TEST_F(OperatorTest, HashJoinResidualPredicate) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1},
+               ColCmp(5, CompareOp::kLt, 50)),  // t_big.v < 50
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 2500u);
+}
+
+TEST_F(OperatorTest, MergeJoinMatchesHashJoin) {
+  // Both inputs clustered on the join key.
+  Plan mj = MustFinalize(MergeJoin(JoinKind::kInner, CiScan("t_small"),
+                                   IdxScan("t_big", "ix_fk"), {0}, {1}),
+                         *catalog_);
+  Plan hj = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  EXPECT_EQ(MustExecuteRows(mj, catalog_.get()).size(),
+            MustExecuteRows(hj, catalog_.get()).size());
+}
+
+TEST_F(OperatorTest, MergeJoinLeftOuter) {
+  Plan plan = MustFinalize(
+      MergeJoin(JoinKind::kLeftOuter, CiScan("t_big"), CiScan("t_small"),
+                {1}, {0}),
+      *catalog_);
+  // t_big is clustered by k, not fk — but join on (fk, a) needs fk order.
+  // Use the ordered index scan instead.
+  Plan plan2 = MustFinalize(
+      MergeJoin(JoinKind::kLeftOuter, IdxScan("t_big", "ix_fk"),
+                CiScan("t_small"), {1}, {0}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan2, catalog_.get());
+  EXPECT_EQ(rows.size(), 5000u);  // every big row matches exactly one small
+  (void)plan;
+}
+
+TEST_F(OperatorTest, NestedLoopJoinWithSeek) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner,
+          Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 20)),
+          CiSeek("t_big", OuterCol(0), OuterCol(0))),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  // Seek on t_big.k (unique): 20 outer rows x 1 match.
+  EXPECT_EQ(rows.size(), 20u);
+  for (const Row& r : rows) EXPECT_EQ(r[0].AsInt(), r[3].AsInt());
+}
+
+TEST_F(OperatorTest, NestedLoopJoinBufferedSameResult) {
+  auto build = [this](bool buffered) {
+    return MustFinalize(
+        Nlj(JoinKind::kInner,
+            Filter(Scan("t_small"), ColCmp(1, CompareOp::kEq, 7)),
+            CiSeek("t_big", OuterCol(0), OuterCol(0)), nullptr, buffered),
+        *catalog_);
+  };
+  Plan unbuffered = build(false);
+  Plan buffered = build(true);
+  EXPECT_EQ(MustExecuteRows(unbuffered, catalog_.get()).size(),
+            MustExecuteRows(buffered, catalog_.get()).size());
+}
+
+TEST_F(OperatorTest, NestedLoopLeftOuterAndAntiAndSemi) {
+  auto kind_count = [this](JoinKind kind) {
+    Plan plan = MustFinalize(
+        Nlj(kind, Scan("t_small"),
+            CiSeek("t_big", OuterCol(0), OuterCol(0),
+                   ColCmp(2, CompareOp::kLt, 50))),
+        *catalog_);
+    return MustExecuteRows(plan, catalog_.get()).size();
+  };
+  // t_big.k == t_small.a (a < 200), v = k % 100 < 50 for half the keys.
+  EXPECT_EQ(kind_count(JoinKind::kInner), 100u);
+  EXPECT_EQ(kind_count(JoinKind::kLeftOuter), 200u);
+  EXPECT_EQ(kind_count(JoinKind::kLeftSemi), 100u);
+  EXPECT_EQ(kind_count(JoinKind::kLeftAnti), 100u);
+}
+
+TEST_F(OperatorTest, RidLookupJoinsBackToHeap) {
+  // Bookmark lookup: seek ix_b, then fetch the base rows.
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner, IdxSeek("t_small", "ix_b", Lit(4)),
+          RidLookup("t_small", 1)),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 20u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 5u);  // (key, rid) ++ base row
+    EXPECT_EQ(r[3].AsInt(), 4);
+  }
+}
+
+TEST_F(OperatorTest, HashAggregateGroups) {
+  Plan plan = MustFinalize(
+      HashAgg(Scan("t_big"), {2}, {Count(), Sum(0), Min(0), Max(0), Avg(0)}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 100u);
+  for (const Row& r : rows) {
+    ASSERT_EQ(r.size(), 6u);
+    EXPECT_EQ(r[1].AsInt(), 50);  // 5000 rows / 100 groups
+    EXPECT_EQ(r[3].AsInt(), r[0].AsInt());        // min k == v
+    EXPECT_EQ(r[4].AsInt(), r[0].AsInt() + 4900);  // max k == v + 4900
+  }
+}
+
+TEST_F(OperatorTest, HashAggregateScalarOverEmptyInput) {
+  Plan plan = MustFinalize(
+      HashAgg(Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, -5)), {},
+              {Count(), Sum(0)}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+}
+
+TEST_F(OperatorTest, StreamAggregateMatchesHashAggregate) {
+  // t_big clustered by k; group by k/1000 needs sorted input — group by the
+  // leading column instead.
+  Plan stream = MustFinalize(
+      StreamAgg(CiScan("t_small"), {0}, {Count()}), *catalog_);
+  auto rows = MustExecuteRows(stream, catalog_.get());
+  EXPECT_EQ(rows.size(), 200u);
+
+  // Grouping by a sorted non-unique prefix.
+  Plan stream2 = MustFinalize(
+      StreamAgg(IdxScan("t_big", "ix_fk"), {1}, {Count(), Sum(2)}),
+      *catalog_);
+  auto rows2 = MustExecuteRows(stream2, catalog_.get());
+  ASSERT_EQ(rows2.size(), 200u);
+  for (const Row& r : rows2) EXPECT_EQ(r[1].AsInt(), 25);
+}
+
+TEST_F(OperatorTest, StreamAggregateScalarEmptyInput) {
+  Plan plan = MustFinalize(
+      StreamAgg(Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, -5)), {},
+                {Count()}),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+}
+
+TEST_F(OperatorTest, ExchangePreservesRows) {
+  Plan plan = MustFinalize(Gather(Scan("t_big")), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 5000u);
+}
+
+TEST_F(OperatorTest, ExchangeLagsBehindChild) {
+  // Mid-execution, the exchange's K_i must run behind its child's (the
+  // Figure 8 behaviour); verify via an early snapshot.
+  ExecOptions options;
+  options.snapshot_interval_ms = 1.0;
+  options.exchange_pull_batch = 16;
+  Plan plan = MustFinalize(Gather(Scan("t_big")), *catalog_);
+  auto result = MustExecute(plan, catalog_.get(), options);
+  ASSERT_GT(result.trace.snapshots.size(), 2u);
+  bool saw_lag = false;
+  for (const auto& snap : result.trace.snapshots) {
+    const auto& exchange = snap.operators[0];
+    const auto& child = snap.operators[1];
+    EXPECT_LE(exchange.row_count, child.row_count);
+    if (child.row_count > 0 &&
+        child.row_count >= exchange.row_count + 500) {
+      saw_lag = true;
+    }
+  }
+  EXPECT_TRUE(saw_lag);
+}
+
+TEST_F(OperatorTest, ConcatenationChainsChildren) {
+  std::vector<NodePtr> children;
+  children.push_back(Scan("t_small"));
+  children.push_back(Scan("t_small"));
+  Plan plan = MustFinalize(Concat(std::move(children)), *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 400u);
+}
+
+TEST_F(OperatorTest, EagerSpoolReplaysOnRebind) {
+  // Spool on the NL inner side: child executes once, replays per outer row.
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner,
+          Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 10)),
+          EagerSpool(Filter(Scan("t_small"), ColCmp(1, CompareOp::kEq, 0))),
+          Cmp(CompareOp::kEq, Col(2), Col(5))),
+      *catalog_);
+  auto result = MustExecute(plan, catalog_.get());
+  // The spool's child scan ran exactly once (200 rows scanned, 20 output).
+  int scan_under_spool = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kFilter && n.children[0]->type == OpType::kTableScan &&
+        n.id > 2) {
+      // the spooled filter is the deeper one
+    }
+  });
+  (void)scan_under_spool;
+  // Find the spool node and its child.
+  int spool_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kEagerSpool) spool_id = n.id;
+  });
+  ASSERT_GE(spool_id, 0);
+  const auto& final_snap = result.trace.final_snapshot;
+  const auto& spool_child = final_snap.operators[spool_id + 1];
+  EXPECT_EQ(spool_child.rebind_count, 0u);   // never re-executed
+  EXPECT_EQ(spool_child.row_count, 20u);     // b == 0 => 20 rows
+  const auto& spool = final_snap.operators[spool_id];
+  EXPECT_EQ(spool.row_count, 200u);  // 10 outer rows x 20 replayed rows
+  EXPECT_EQ(spool.rebind_count, 9u);
+}
+
+TEST_F(OperatorTest, LazySpoolCachesChild) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner,
+          Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 5)),
+          LazySpool(Filter(Scan("t_small"), ColCmp(1, CompareOp::kEq, 1)))),
+      *catalog_);
+  auto rows = MustExecuteRows(plan, catalog_.get());
+  EXPECT_EQ(rows.size(), 5u * 20u);
+}
+
+TEST_F(OperatorTest, BitmapFilterReducesProbeScanOutput) {
+  // Hash join with a bitmap pushed into the probe-side scan (Figure 6).
+  NodePtr build = BitmapCreate(
+      Filter(Scan("t_small"), ColCmp(0, CompareOp::kLt, 10)), 0);
+  NodePtr probe = Scan("t_big");
+  ProbeBitmap(probe.get(), 1);
+  auto root = HashJoin(JoinKind::kInner, std::move(build), std::move(probe),
+                       {0}, {1});
+  auto plan_or = FinalizePlan(std::move(root), *catalog_);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  ASSERT_OK(LinkBitmaps(&plan_or.value()));
+  Plan plan = std::move(plan_or).value();
+  auto result = MustExecute(plan, catalog_.get());
+  EXPECT_EQ(result.rows_returned, 250u);  // 10 keys x 25 rows
+  // The probe scan outputs (roughly) only the bitmap-qualifying rows, far
+  // fewer than the full table.
+  int probe_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kTableScan && n.bitmap_source_id >= 0) {
+      probe_id = n.id;
+    }
+  });
+  ASSERT_GE(probe_id, 0);
+  const auto& p = result.trace.final_snapshot.operators[probe_id];
+  EXPECT_LT(p.row_count, 1000u);
+  EXPECT_TRUE(p.has_pushed_predicate);
+}
+
+TEST_F(OperatorTest, ConstantScanEmitsRows) {
+  std::vector<Row> rows{{Value(int64_t{1}), Value(int64_t{2})},
+                        {Value(int64_t{3}), Value(int64_t{4})}};
+  Plan plan = MustFinalize(ConstantScan(rows), *catalog_);
+  auto out = MustExecuteRows(plan, catalog_.get());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1][1].AsInt(), 4);
+}
+
+TEST_F(OperatorTest, SegmentPassesThrough) {
+  Plan plan = MustFinalize(Segment(CiScan("t_small"), {1}), *catalog_);
+  EXPECT_EQ(MustExecuteRows(plan, catalog_.get()).size(), 200u);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

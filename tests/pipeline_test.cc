@@ -1,0 +1,156 @@
+#include "gtest/gtest.h"
+
+#include "lqs/pipeline.h"
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = MakeTestCatalog(); }
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(PipelineTest, SingleScanIsOnePipeline) {
+  Plan plan = MustFinalize(Scan("t_small"), *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  ASSERT_EQ(a.pipeline_count(), 1);
+  EXPECT_EQ(a.pipelines[0].driver_nodes, std::vector<int>{0});
+}
+
+TEST_F(PipelineTest, Figure5ShapeDecomposesIntoPipelines) {
+  // The paper's Figure 5: Merge Join of (Sort over Index Scan T.A) with
+  // Index Scan T.B, then Filter and (Hash) Group-By above.
+  //  - the Sort input forms its own pipeline (pipeline 1),
+  //  - the group-by input boundary splits the plan again.
+  NodePtr mj = MergeJoin(JoinKind::kInner, Sort(CiScan("t_small"), {0}),
+                         IdxScan("t_big", "ix_fk"), {0}, {1});
+  NodePtr root = HashAgg(Filter(std::move(mj), ColCmp(1, CompareOp::kLe, 5)),
+                         {2}, {Count()});
+  Plan plan = MustFinalize(std::move(root), *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+
+  // Pipelines: [HashAgg output], [Filter+MergeJoin+Sort(out)+IndexScan],
+  // [Sort input scan].
+  ASSERT_EQ(a.pipeline_count(), 3);
+
+  // Locate nodes.
+  int sort_id = -1;
+  int scan_a = -1;
+  int scan_b = -1;
+  int agg_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kSort) sort_id = n.id;
+    if (n.type == OpType::kClusteredIndexScan) scan_a = n.id;
+    if (n.type == OpType::kIndexScan) scan_b = n.id;
+    if (n.type == OpType::kHashAggregate) agg_id = n.id;
+  });
+  ASSERT_GE(sort_id, 0);
+
+  // The Sort and Index Scan T.B are drivers of the middle pipeline; the
+  // scan under the Sort drives the bottom pipeline (the Figure 5 shading).
+  const int mid = a.pipeline_of_node[sort_id];
+  const PipelineInfo& mid_p = a.pipelines[mid];
+  EXPECT_NE(mid, a.pipeline_of_node[scan_a]);
+  EXPECT_EQ(a.pipeline_of_node[scan_b], mid);
+  EXPECT_EQ(mid_p.driver_nodes.size(), 2u);
+  EXPECT_TRUE(std::count(mid_p.driver_nodes.begin(), mid_p.driver_nodes.end(),
+                         sort_id) == 1);
+  EXPECT_TRUE(std::count(mid_p.driver_nodes.begin(), mid_p.driver_nodes.end(),
+                         scan_b) == 1);
+
+  // The aggregate's output pipeline is above the boundary.
+  EXPECT_NE(a.pipeline_of_node[agg_id], mid);
+}
+
+TEST_F(PipelineTest, HashJoinBuildSideIsSeparatePipeline) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  ASSERT_EQ(a.pipeline_count(), 2);
+  // Probe scan shares the join's pipeline; build scan does not.
+  EXPECT_EQ(a.pipeline_of_node[0], a.pipeline_of_node[2]);
+  EXPECT_NE(a.pipeline_of_node[0], a.pipeline_of_node[1]);
+  // The root pipeline's child is the build pipeline.
+  EXPECT_EQ(a.pipelines[a.pipeline_of_node[0]].child_pipelines.size(), 1u);
+}
+
+TEST_F(PipelineTest, NljInnerSideExcludedFromDrivers) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner, Scan("t_small"),
+          CiSeek("t_big", OuterCol(0), OuterCol(0))),
+      *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  ASSERT_EQ(a.pipeline_count(), 1);
+  const PipelineInfo& p = a.pipelines[0];
+  // Node 1 = outer scan (driver), node 2 = inner seek (inner driver).
+  EXPECT_EQ(p.driver_nodes, std::vector<int>{1});
+  EXPECT_EQ(p.inner_driver_nodes, std::vector<int>{2});
+  EXPECT_TRUE(a.on_nlj_inner_side[2]);
+  EXPECT_FALSE(a.on_nlj_inner_side[1]);
+  EXPECT_EQ(a.enclosing_nlj[2], 0);
+}
+
+TEST_F(PipelineTest, ExchangeMarksSeparation) {
+  // Nodes above an Exchange are separated from the pipeline's drivers by a
+  // semi-blocking operator (§4.4(2)).
+  Plan plan = MustFinalize(
+      Filter(Gather(Scan("t_big")), ColCmp(2, CompareOp::kLt, 10)),
+      *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  ASSERT_EQ(a.pipeline_count(), 1);
+  EXPECT_TRUE(a.separated_by_semi_blocking[0]);   // Filter above exchange
+  EXPECT_FALSE(a.separated_by_semi_blocking[2]);  // the scan itself
+  // The exchange node itself is not separated (its child is the scan).
+  EXPECT_FALSE(a.separated_by_semi_blocking[1]);
+}
+
+TEST_F(PipelineTest, BufferedNljMarksSeparationButUnbufferedDoesNot) {
+  auto make = [&](bool buffered) {
+    return MustFinalize(
+        Filter(Nlj(JoinKind::kInner, Scan("t_small"),
+                   CiSeek("t_big", OuterCol(0), OuterCol(0)), nullptr,
+                   buffered),
+               ColCmp(0, CompareOp::kGe, 0)),
+        *catalog_);
+  };
+  Plan buffered = make(true);
+  Plan unbuffered = make(false);
+  EXPECT_TRUE(AnalyzePlan(buffered).separated_by_semi_blocking[0]);
+  EXPECT_FALSE(AnalyzePlan(unbuffered).separated_by_semi_blocking[0]);
+}
+
+TEST_F(PipelineTest, EagerSpoolIsBlockingBoundary) {
+  Plan plan = MustFinalize(EagerSpool(Scan("t_small")), *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  EXPECT_EQ(a.pipeline_count(), 2);
+}
+
+TEST_F(PipelineTest, EveryNodeAssignedToExactlyOnePipeline) {
+  // Property over a complex plan.
+  NodePtr join = HashJoin(
+      JoinKind::kInner,
+      Sort(Filter(Scan("t_small"), ColCmp(1, CompareOp::kLe, 5)), {0}),
+      Gather(Scan("t_big")), {0}, {1});
+  Plan plan = MustFinalize(HashAgg(std::move(join), {2}, {Count()}),
+                           *catalog_);
+  PlanAnalysis a = AnalyzePlan(plan);
+  std::vector<int> seen(plan.size(), 0);
+  for (const PipelineInfo& p : a.pipelines) {
+    for (int n : p.nodes) seen[n]++;
+  }
+  for (int i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "node " << i;
+    EXPECT_EQ(a.pipeline_of_node[i] >= 0, true);
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

@@ -1,0 +1,239 @@
+#include "gtest/gtest.h"
+
+#include "optimizer/annotate.h"
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = MakeTestCatalog(); }
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(PlanTest, AssignsDensePreorderIds) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  EXPECT_EQ(plan.size(), 3);
+  EXPECT_EQ(plan.root->id, 0);
+  EXPECT_EQ(plan.root->child(0)->id, 1);
+  EXPECT_EQ(plan.root->child(1)->id, 2);
+  for (int i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.node(i).id, i);
+  }
+}
+
+TEST_F(PlanTest, SchemaDerivationJoin) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  EXPECT_EQ(plan.root->output_schema.num_columns(), 7u);
+  EXPECT_EQ(plan.root->output_schema.column(0).name, "a");
+  EXPECT_EQ(plan.root->output_schema.column(3).name, "k");
+}
+
+TEST_F(PlanTest, SchemaDerivationSemiJoinKeepsOuterOnly) {
+  Plan semi = MustFinalize(
+      HashJoin(JoinKind::kLeftSemi, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  EXPECT_EQ(semi.root->output_schema.num_columns(), 3u);
+  Plan rsemi = MustFinalize(
+      HashJoin(JoinKind::kRightSemi, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  EXPECT_EQ(rsemi.root->output_schema.num_columns(), 4u);
+}
+
+TEST_F(PlanTest, SchemaDerivationAggregate) {
+  Plan plan = MustFinalize(
+      HashAgg(Scan("t_big"), {2}, {Count(), Sum(0), Min(3)}), *catalog_);
+  const Schema& s = plan.root->output_schema;
+  ASSERT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column(0).name, "v");
+  EXPECT_EQ(s.column(1).type, DataType::kInt64);   // count
+  EXPECT_EQ(s.column(2).type, DataType::kDouble);  // sum
+  EXPECT_EQ(s.column(3).type, DataType::kDouble);  // min of w (double)
+}
+
+TEST_F(PlanTest, SchemaDerivationIndexSeek) {
+  Plan plan = MustFinalize(IdxSeek("t_small", "ix_b", Lit(1)), *catalog_);
+  ASSERT_EQ(plan.root->output_schema.num_columns(), 2u);
+  EXPECT_EQ(plan.root->output_schema.column(0).name, "b");
+  EXPECT_EQ(plan.root->output_schema.column(1).name, "rid");
+}
+
+TEST_F(PlanTest, UnknownTableRejected) {
+  auto plan_or = FinalizePlan(Scan("missing"), *catalog_);
+  EXPECT_FALSE(plan_or.ok());
+  EXPECT_EQ(plan_or.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(PlanTest, UnknownIndexRejected) {
+  auto plan_or = FinalizePlan(IdxSeek("t_small", "missing", Lit(1)),
+                              *catalog_);
+  EXPECT_FALSE(plan_or.ok());
+}
+
+TEST_F(PlanTest, ValidationCatchesBadFilterColumn) {
+  auto plan_or = FinalizePlan(
+      Filter(Scan("t_small"), ColCmp(17, CompareOp::kEq, 1)), *catalog_);
+  EXPECT_FALSE(plan_or.ok());
+  EXPECT_EQ(plan_or.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(PlanTest, ValidationCatchesBadJoinKey) {
+  auto plan_or = FinalizePlan(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {9}, {1}),
+      *catalog_);
+  EXPECT_FALSE(plan_or.ok());
+}
+
+TEST_F(PlanTest, ValidationCatchesBadResidual) {
+  // Residual references column 8 of a 7-wide combined row.
+  auto plan_or = FinalizePlan(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1},
+               ColCmp(8, CompareOp::kEq, 0)),
+      *catalog_);
+  EXPECT_FALSE(plan_or.ok());
+}
+
+TEST_F(PlanTest, ValidationCatchesBadGroupAndSortColumns) {
+  EXPECT_FALSE(
+      FinalizePlan(HashAgg(Scan("t_small"), {5}, {Count()}), *catalog_).ok());
+  EXPECT_FALSE(FinalizePlan(Sort(Scan("t_small"), {4}), *catalog_).ok());
+  EXPECT_FALSE(FinalizePlan(HashAgg(Scan("t_small"), {0}, {Sum(9)}),
+                            *catalog_)
+                   .ok());
+}
+
+TEST_F(PlanTest, CloneIsDeepAndIdentical) {
+  Plan plan = MustFinalize(
+      Sort(HashJoin(JoinKind::kInner,
+                    Filter(Scan("t_small"), ColCmp(1, CompareOp::kLe, 4)),
+                    Scan("t_big"), {0}, {1}),
+           {2}),
+      *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  Plan copy = plan.Clone();
+  EXPECT_EQ(copy.size(), plan.size());
+  for (int i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(copy.node(i).type, plan.node(i).type);
+    EXPECT_DOUBLE_EQ(copy.node(i).est_rows, plan.node(i).est_rows);
+    EXPECT_NE(&copy.node(i), &plan.node(i));  // deep, not aliased
+  }
+  // The clone executes identically.
+  auto a = MustExecuteRows(plan, catalog_.get());
+  auto b = MustExecuteRows(copy, catalog_.get());
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST_F(PlanTest, PlanToStringShowsStructure) {
+  Plan plan = MustFinalize(
+      Filter(Scan("t_small", ColCmp(1, CompareOp::kEq, 3)),
+             ColCmp(2, CompareOp::kEq, 0)),
+      *catalog_);
+  std::string s = PlanToString(plan);
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Table Scan"), std::string::npos);
+  EXPECT_NE(s.find("t_small"), std::string::npos);
+  EXPECT_NE(s.find("push="), std::string::npos);
+}
+
+TEST_F(PlanTest, VisitCountsNodes) {
+  Plan plan = MustFinalize(
+      HashAgg(HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0},
+                       {1}),
+              {2}, {Count()}),
+      *catalog_);
+  EXPECT_EQ(plan.root->CountNodes(), 4);
+  int visited = 0;
+  plan.root->Visit([&](const PlanNode&) { visited++; });
+  EXPECT_EQ(visited, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer annotation
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, AnnotateFullScanIsExact) {
+  Plan plan = MustFinalize(Scan("t_big"), *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  EXPECT_DOUBLE_EQ(plan.root->est_rows, 5000.0);
+  EXPECT_GT(plan.root->est_io_ms, 0.0);
+}
+
+TEST_F(PlanTest, AnnotateFilterUsesHistogram) {
+  // v < 50 keeps half the rows (v = k % 100 uniform).
+  Plan plan = MustFinalize(
+      Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 50)), *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  EXPECT_NEAR(plan.root->est_rows, 2500, 400);
+}
+
+TEST_F(PlanTest, AnnotateJoinUsesContainment) {
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  // 200 x 5000 / max(ndv a=200, ndv fk=200) = 5000. True is 5000 too.
+  EXPECT_NEAR(plan.root->est_rows, 5000, 1200);
+}
+
+TEST_F(PlanTest, AnnotateGroupByUsesNdv) {
+  Plan plan = MustFinalize(HashAgg(Scan("t_big"), {2}, {Count()}),
+                           *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  EXPECT_NEAR(plan.root->est_rows, 100, 30);  // ndv(v) = 100
+}
+
+TEST_F(PlanTest, AnnotateNljScalesInnerSubtreeToTotals) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner, Scan("t_small"),
+          CiSeek("t_big", OuterCol(0), OuterCol(0))),
+      *catalog_);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+  const PlanNode& seek = plan.node(2);
+  // ~200 executions x ~1 row per seek (unique key) => total ~200.
+  EXPECT_NEAR(seek.est_rebinds, 200, 20);
+  EXPECT_NEAR(seek.est_rows, 200, 100);
+}
+
+TEST_F(PlanTest, AnnotateErrorAmplificationIsDeterministic) {
+  OptimizerOptions amp;
+  amp.selectivity_error = 2.0;
+  amp.seed = 5;
+  auto build = [&] {
+    Plan plan = MustFinalize(
+        Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 50)), *catalog_);
+    EXPECT_OK(AnnotatePlan(&plan, *catalog_, amp));
+    return plan.root->est_rows;
+  };
+  double a = build();
+  double b = build();
+  EXPECT_DOUBLE_EQ(a, b);
+  // A different seed shifts the estimate.
+  amp.seed = 6;
+  EXPECT_NE(build(), a);
+}
+
+TEST_F(PlanTest, AnnotateSemiAntiComplement) {
+  Plan semi = MustFinalize(
+      HashJoin(JoinKind::kLeftSemi, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  Plan anti = MustFinalize(
+      HashJoin(JoinKind::kLeftAnti, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog_);
+  ASSERT_OK(AnnotatePlan(&semi, *catalog_, OptimizerOptions{}));
+  ASSERT_OK(AnnotatePlan(&anti, *catalog_, OptimizerOptions{}));
+  // semi + anti estimates partition the outer side.
+  EXPECT_NEAR(semi.root->est_rows + anti.root->est_rows, 200, 1);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

@@ -1,0 +1,53 @@
+#ifndef LQS_TESTS_TEST_UTIL_H_
+#define LQS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/statusor.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    ::lqs::Status _st = (expr);                             \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    ::lqs::Status _st = (expr);                             \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+/// Builds a small deterministic test catalog:
+///   t_small(a, b, c):   200 rows, a = 0..199 (clustered), b = a % 10,
+///                       c = a % 3; secondary index ix_b on b.
+///   t_big(k, fk, v, w): 5000 rows, k = 0..4999 (clustered), fk = k % 200
+///                       (joins t_small.a), v = k % 100, w = double;
+///                       secondary index ix_fk on fk; columnstore index.
+std::unique_ptr<Catalog> MakeTestCatalog();
+
+/// Finalizes `root` against `catalog`, asserting success.
+Plan MustFinalize(std::unique_ptr<PlanNode> root, const Catalog& catalog);
+
+/// Runs the plan, asserting success; returns the result.
+ExecutionResult MustExecute(const Plan& plan, Catalog* catalog,
+                            ExecOptions options = {});
+
+/// Runs the plan collecting all result rows.
+std::vector<Row> MustExecuteRows(const Plan& plan, Catalog* catalog,
+                                 ExecOptions options = {});
+
+}  // namespace testing
+}  // namespace lqs
+
+#endif  // LQS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_bitmap_pushdown.cc" "bench/CMakeFiles/fig06_bitmap_pushdown.dir/fig06_bitmap_pushdown.cc.o" "gcc" "bench/CMakeFiles/fig06_bitmap_pushdown.dir/fig06_bitmap_pushdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lqs_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lqs/CMakeFiles/lqs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lqs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqs_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lqs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

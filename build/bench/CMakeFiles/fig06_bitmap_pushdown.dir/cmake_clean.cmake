@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bitmap_pushdown.dir/fig06_bitmap_pushdown.cc.o"
+  "CMakeFiles/fig06_bitmap_pushdown.dir/fig06_bitmap_pushdown.cc.o.d"
+  "fig06_bitmap_pushdown"
+  "fig06_bitmap_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bitmap_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

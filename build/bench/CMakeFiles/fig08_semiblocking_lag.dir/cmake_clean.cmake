@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_semiblocking_lag.dir/fig08_semiblocking_lag.cc.o"
+  "CMakeFiles/fig08_semiblocking_lag.dir/fig08_semiblocking_lag.cc.o.d"
+  "fig08_semiblocking_lag"
+  "fig08_semiblocking_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_semiblocking_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_semiblocking_lag.
+# This may be replaced when dependencies are built.

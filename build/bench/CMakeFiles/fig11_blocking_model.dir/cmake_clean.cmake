@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_blocking_model.dir/fig11_blocking_model.cc.o"
+  "CMakeFiles/fig11_blocking_model.dir/fig11_blocking_model.cc.o.d"
+  "fig11_blocking_model"
+  "fig11_blocking_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_blocking_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_weights_curve.dir/fig12_weights_curve.cc.o"
+  "CMakeFiles/fig12_weights_curve.dir/fig12_weights_curve.cc.o.d"
+  "fig12_weights_curve"
+  "fig12_weights_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_weights_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

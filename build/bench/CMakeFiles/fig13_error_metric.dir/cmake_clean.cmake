@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_error_metric.dir/fig13_error_metric.cc.o"
+  "CMakeFiles/fig13_error_metric.dir/fig13_error_metric.cc.o.d"
+  "fig13_error_metric"
+  "fig13_error_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_error_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_refinement.dir/fig14_refinement.cc.o"
+  "CMakeFiles/fig14_refinement.dir/fig14_refinement.cc.o.d"
+  "fig14_refinement"
+  "fig14_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_weights.dir/fig16_weights.cc.o"
+  "CMakeFiles/fig16_weights.dir/fig16_weights.cc.o.d"
+  "fig16_weights"
+  "fig16_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

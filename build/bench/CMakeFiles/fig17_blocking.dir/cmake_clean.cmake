@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_blocking.dir/fig17_blocking.cc.o"
+  "CMakeFiles/fig17_blocking.dir/fig17_blocking.cc.o.d"
+  "fig17_blocking"
+  "fig17_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_columnstore.dir/fig18_columnstore.cc.o"
+  "CMakeFiles/fig18_columnstore.dir/fig18_columnstore.cc.o.d"
+  "fig18_columnstore"
+  "fig18_columnstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_columnstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

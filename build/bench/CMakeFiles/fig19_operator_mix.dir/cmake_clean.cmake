@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_operator_mix.dir/fig19_operator_mix.cc.o"
+  "CMakeFiles/fig19_operator_mix.dir/fig19_operator_mix.cc.o.d"
+  "fig19_operator_mix"
+  "fig19_operator_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_operator_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_columnstore_by_operator.dir/fig20_columnstore_by_operator.cc.o"
+  "CMakeFiles/fig20_columnstore_by_operator.dir/fig20_columnstore_by_operator.cc.o.d"
+  "fig20_columnstore_by_operator"
+  "fig20_columnstore_by_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_columnstore_by_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_columnstore_by_operator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_columnstore_by_operator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_benchmark.dir/overhead_benchmark.cc.o"
+  "CMakeFiles/overhead_benchmark.dir/overhead_benchmark.cc.o.d"
+  "overhead_benchmark"
+  "overhead_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnstore_progress.dir/columnstore_progress.cpp.o"
+  "CMakeFiles/columnstore_progress.dir/columnstore_progress.cpp.o.d"
+  "columnstore_progress"
+  "columnstore_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnstore_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_troubleshoot.dir/dba_troubleshoot.cpp.o"
+  "CMakeFiles/dba_troubleshoot.dir/dba_troubleshoot.cpp.o.d"
+  "dba_troubleshoot"
+  "dba_troubleshoot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_troubleshoot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

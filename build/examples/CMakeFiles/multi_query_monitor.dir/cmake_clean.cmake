@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query_monitor.dir/multi_query_monitor.cpp.o"
+  "CMakeFiles/multi_query_monitor.dir/multi_query_monitor.cpp.o.d"
+  "multi_query_monitor"
+  "multi_query_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_common.dir/comparison.cc.o"
+  "CMakeFiles/lqs_common.dir/comparison.cc.o.d"
+  "CMakeFiles/lqs_common.dir/op_type.cc.o"
+  "CMakeFiles/lqs_common.dir/op_type.cc.o.d"
+  "CMakeFiles/lqs_common.dir/rng.cc.o"
+  "CMakeFiles/lqs_common.dir/rng.cc.o.d"
+  "CMakeFiles/lqs_common.dir/status.cc.o"
+  "CMakeFiles/lqs_common.dir/status.cc.o.d"
+  "CMakeFiles/lqs_common.dir/value.cc.o"
+  "CMakeFiles/lqs_common.dir/value.cc.o.d"
+  "liblqs_common.a"
+  "liblqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/agg_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/agg_ops.cc.o.d"
+  "/root/repo/src/exec/builder.cc" "src/exec/CMakeFiles/lqs_exec.dir/builder.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/builder.cc.o.d"
+  "/root/repo/src/exec/exchange_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/exchange_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/exchange_ops.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/lqs_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/lqs_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/join_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/join_ops.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/lqs_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/row_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/row_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/row_ops.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/scan_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/scan_ops.cc.o.d"
+  "/root/repo/src/exec/sort_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/sort_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/sort_ops.cc.o.d"
+  "/root/repo/src/exec/spool_ops.cc" "src/exec/CMakeFiles/lqs_exec.dir/spool_ops.cc.o" "gcc" "src/exec/CMakeFiles/lqs_exec.dir/spool_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lqs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_exec.dir/agg_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/agg_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/builder.cc.o"
+  "CMakeFiles/lqs_exec.dir/builder.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/exchange_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/exchange_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/executor.cc.o"
+  "CMakeFiles/lqs_exec.dir/executor.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/expr.cc.o"
+  "CMakeFiles/lqs_exec.dir/expr.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/join_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/join_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/plan.cc.o"
+  "CMakeFiles/lqs_exec.dir/plan.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/row_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/row_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/scan_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/scan_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/sort_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/sort_ops.cc.o.d"
+  "CMakeFiles/lqs_exec.dir/spool_ops.cc.o"
+  "CMakeFiles/lqs_exec.dir/spool_ops.cc.o.d"
+  "liblqs_exec.a"
+  "liblqs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

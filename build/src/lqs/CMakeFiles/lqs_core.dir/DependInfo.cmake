@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lqs/bounds.cc" "src/lqs/CMakeFiles/lqs_core.dir/bounds.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/bounds.cc.o.d"
+  "/root/repo/src/lqs/estimator.cc" "src/lqs/CMakeFiles/lqs_core.dir/estimator.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/estimator.cc.o.d"
+  "/root/repo/src/lqs/feedback.cc" "src/lqs/CMakeFiles/lqs_core.dir/feedback.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/feedback.cc.o.d"
+  "/root/repo/src/lqs/metrics.cc" "src/lqs/CMakeFiles/lqs_core.dir/metrics.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/metrics.cc.o.d"
+  "/root/repo/src/lqs/pipeline.cc" "src/lqs/CMakeFiles/lqs_core.dir/pipeline.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/lqs/trace_csv.cc" "src/lqs/CMakeFiles/lqs_core.dir/trace_csv.cc.o" "gcc" "src/lqs/CMakeFiles/lqs_core.dir/trace_csv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/lqs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqs_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

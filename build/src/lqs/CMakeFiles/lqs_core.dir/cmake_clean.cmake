@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_core.dir/bounds.cc.o"
+  "CMakeFiles/lqs_core.dir/bounds.cc.o.d"
+  "CMakeFiles/lqs_core.dir/estimator.cc.o"
+  "CMakeFiles/lqs_core.dir/estimator.cc.o.d"
+  "CMakeFiles/lqs_core.dir/feedback.cc.o"
+  "CMakeFiles/lqs_core.dir/feedback.cc.o.d"
+  "CMakeFiles/lqs_core.dir/metrics.cc.o"
+  "CMakeFiles/lqs_core.dir/metrics.cc.o.d"
+  "CMakeFiles/lqs_core.dir/pipeline.cc.o"
+  "CMakeFiles/lqs_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/lqs_core.dir/trace_csv.cc.o"
+  "CMakeFiles/lqs_core.dir/trace_csv.cc.o.d"
+  "liblqs_core.a"
+  "liblqs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

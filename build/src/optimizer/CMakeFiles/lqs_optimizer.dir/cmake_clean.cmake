@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_optimizer.dir/annotate.cc.o"
+  "CMakeFiles/lqs_optimizer.dir/annotate.cc.o.d"
+  "liblqs_optimizer.a"
+  "liblqs_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

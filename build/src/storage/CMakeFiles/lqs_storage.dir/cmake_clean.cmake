@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_storage.dir/catalog.cc.o"
+  "CMakeFiles/lqs_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/lqs_storage.dir/columnstore.cc.o"
+  "CMakeFiles/lqs_storage.dir/columnstore.cc.o.d"
+  "CMakeFiles/lqs_storage.dir/schema.cc.o"
+  "CMakeFiles/lqs_storage.dir/schema.cc.o.d"
+  "CMakeFiles/lqs_storage.dir/statistics.cc.o"
+  "CMakeFiles/lqs_storage.dir/statistics.cc.o.d"
+  "CMakeFiles/lqs_storage.dir/table.cc.o"
+  "CMakeFiles/lqs_storage.dir/table.cc.o.d"
+  "liblqs_storage.a"
+  "liblqs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

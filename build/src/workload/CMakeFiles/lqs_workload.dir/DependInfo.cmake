@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/real.cc" "src/workload/CMakeFiles/lqs_workload.dir/real.cc.o" "gcc" "src/workload/CMakeFiles/lqs_workload.dir/real.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "src/workload/CMakeFiles/lqs_workload.dir/tpcds.cc.o" "gcc" "src/workload/CMakeFiles/lqs_workload.dir/tpcds.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/lqs_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/lqs_workload.dir/tpch.cc.o.d"
+  "/root/repo/src/workload/workload_common.cc" "src/workload/CMakeFiles/lqs_workload.dir/workload_common.cc.o" "gcc" "src/workload/CMakeFiles/lqs_workload.dir/workload_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/lqs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqs_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

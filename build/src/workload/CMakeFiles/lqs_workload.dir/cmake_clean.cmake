@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_workload.dir/real.cc.o"
+  "CMakeFiles/lqs_workload.dir/real.cc.o.d"
+  "CMakeFiles/lqs_workload.dir/tpcds.cc.o"
+  "CMakeFiles/lqs_workload.dir/tpcds.cc.o.d"
+  "CMakeFiles/lqs_workload.dir/tpch.cc.o"
+  "CMakeFiles/lqs_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/lqs_workload.dir/workload_common.cc.o"
+  "CMakeFiles/lqs_workload.dir/workload_common.cc.o.d"
+  "liblqs_workload.a"
+  "liblqs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblqs_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqs_test_util.dir/test_util.cc.o"
+  "CMakeFiles/lqs_test_util.dir/test_util.cc.o.d"
+  "liblqs_test_util.a"
+  "liblqs_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqs_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

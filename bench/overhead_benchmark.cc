@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/invariant_checker.h"
 #include "bench/bench_util.h"
 #include "lqs/bounds.h"
 #include "lqs/estimator.h"
@@ -53,6 +54,39 @@ void BM_EstimateFullLqs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateFullLqs);
+
+// Same per-snapshot work as BM_EstimateFullLqs but routed through the
+// runtime invariant checker with its default (cheap) options — the delta
+// between the two is the cost of leaving the checker on in production
+// replay loops. Budget: under 5% on top of Estimate().
+void BM_EstimateFullLqsChecked(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                        EstimatorOptions::Lqs());
+  ProgressInvariantChecker checker(&est);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.EstimateChecked(f.snapshot));
+  }
+  if (!checker.report().ok()) state.SkipWithError("invariant violation");
+}
+BENCHMARK(BM_EstimateFullLqsChecked);
+
+// The deep-bounds variant recomputes and cross-checks Appendix A bounds on
+// every snapshot; this is the test/debug configuration, benchmarked here so
+// a regression in its (expected, roughly 2x) cost is visible.
+void BM_EstimateFullLqsDeepChecked(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                        EstimatorOptions::Lqs());
+  InvariantCheckerOptions opts;
+  opts.deep_bounds_check = true;
+  ProgressInvariantChecker checker(&est, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.EstimateChecked(f.snapshot));
+  }
+  if (!checker.report().ok()) state.SkipWithError("invariant violation");
+}
+BENCHMARK(BM_EstimateFullLqsDeepChecked);
 
 void BM_EstimateTgn(benchmark::State& state) {
   Fixture& f = Fixture::Get();

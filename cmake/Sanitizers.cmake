@@ -1,0 +1,51 @@
+# Sanitizer instrumentation for the whole build tree.
+#
+# Usage:
+#   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+#         -DLQS_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLQS_SANITIZE=thread
+#
+# Supported flavors: address, undefined, leak, thread. Thread cannot be
+# combined with address/leak (the runtimes are mutually exclusive).
+# Runtime suppressions live in scripts/sanitizers/ and are exported to every
+# ctest run via lqs_sanitizer_test_env() (see tests/CMakeLists.txt).
+
+function(lqs_enable_sanitizers flavors)
+  set(_known address undefined leak thread)
+  set(_flags "")
+  foreach(s IN LISTS flavors)
+    if(NOT s IN_LIST _known)
+      message(FATAL_ERROR "LQS_SANITIZE: unknown sanitizer '${s}' "
+                          "(supported: ${_known})")
+    endif()
+    list(APPEND _flags "-fsanitize=${s}")
+  endforeach()
+  if("thread" IN_LIST flavors AND
+     ("address" IN_LIST flavors OR "leak" IN_LIST flavors))
+    message(FATAL_ERROR "LQS_SANITIZE: thread cannot be combined with "
+                        "address/leak")
+  endif()
+
+  # Keep stacks readable and make UBSan findings fatal so ctest fails on
+  # the first report instead of printing and passing.
+  list(APPEND _flags -fno-omit-frame-pointer)
+  if("undefined" IN_LIST flavors)
+    list(APPEND _flags -fno-sanitize-recover=undefined)
+  endif()
+
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  message(STATUS "LQS sanitizers enabled: ${flavors}")
+endfunction()
+
+# Environment a sanitized test run needs: abort on first error, symbolized
+# stacks, and the checked-in suppression lists.
+function(lqs_sanitizer_test_env out_var)
+  set(_supp_dir ${PROJECT_SOURCE_DIR}/scripts/sanitizers)
+  set(_env
+      "ASAN_OPTIONS=halt_on_error=1:detect_stack_use_after_return=1"
+      "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:suppressions=${_supp_dir}/ubsan.supp"
+      "LSAN_OPTIONS=suppressions=${_supp_dir}/lsan.supp"
+      "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1")
+  set(${out_var} "${_env}" PARENT_SCOPE)
+endfunction()

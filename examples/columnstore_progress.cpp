@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "exec/executor.h"
 #include "lqs/estimator.h"
 #include "workload/plan_builder.h"
@@ -18,7 +20,7 @@ using namespace lqs::pb;  // NOLINT
 
 namespace {
 
-void RunOne(Workload& w, bool columnstore) {
+bool RunOne(Workload& w, bool columnstore) {
   // sum(l_extendedprice) for a quantity band, grouped by return flag.
   NodePtr scan =
       columnstore
@@ -26,19 +28,25 @@ void RunOne(Workload& w, bool columnstore) {
           : CiScan("lineitem", ColBetween(4, 5, 20));
   auto root = HashAgg(std::move(scan), {/*l_returnflag*/ 8}, {Sum(5)});
   auto plan_or = FinalizePlan(std::move(root), *w.catalog);
-  if (!plan_or.ok()) return;
+  if (!plan_or.ok()) return false;
   Plan plan = std::move(plan_or).value();
-  if (!AnnotatePlan(&plan, *w.catalog, OptimizerOptions{}).ok()) return;
+  if (!AnnotatePlan(&plan, *w.catalog, OptimizerOptions{}).ok()) return false;
+  ValidationReport plan_report = PlanValidator(w.catalog.get()).Validate(plan);
+  if (!plan_report.ok()) {
+    std::fprintf(stderr, "%s", plan_report.ToString().c_str());
+    return false;
+  }
 
   ExecOptions exec;
   exec.snapshot_interval_ms = 5.0;
   auto result = ExecuteQuery(plan, w.catalog.get(), exec);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return;
+    return false;
   }
   ProgressEstimator estimator(&plan, w.catalog.get(),
                               EstimatorOptions::Lqs());
+  ProgressInvariantChecker checker(&estimator);
 
   std::printf("\n--- %s design: %.0f virtual ms ---\n",
               columnstore ? "columnstore (batch mode)" : "rowstore",
@@ -49,7 +57,7 @@ void RunOne(Workload& w, bool columnstore) {
   const size_t stride = std::max<size_t>(1, snaps.size() / 8);
   const int scan_id = 1;  // 0 = agg, 1 = scan
   for (size_t i = 0; i < snaps.size(); i += stride) {
-    ProgressReport report = estimator.Estimate(snaps[i]);
+    ProgressReport report = checker.EstimateChecked(snaps[i]);
     const auto& prof = snaps[i].operators[scan_id];
     std::printf("%10.1f %9.1f%% %12llu %8llu/%-3llu %12llu\n",
                 snaps[i].time_ms, 100 * report.operator_progress[scan_id],
@@ -62,6 +70,12 @@ void RunOne(Workload& w, bool columnstore) {
               columnstore ? "an order of magnitude cheaper per row (cf. "
                             "Figure 18's error reduction)"
                           : "row at a time");
+  checker.CheckFinal(result->trace.final_snapshot);
+  if (!checker.report().ok()) {
+    std::fprintf(stderr, "%s", checker.report().ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -77,7 +91,7 @@ int main() {
       std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
       return 1;
     }
-    RunOne(w.value(), columnstore);
+    if (!RunOne(w.value(), columnstore)) return 1;
   }
   return 0;
 }

@@ -15,6 +15,8 @@
 
 #include <cstdio>
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "exec/executor.h"
 #include "lqs/estimator.h"
 #include "optimizer/annotate.h"
@@ -59,6 +61,13 @@ int main() {
 
   const int nlj = 1;        // plan layout: 0=agg, 1=NLJ, 2=outer scan, 3=seek
   const int outer_scan = 2;
+  // Even with the planted mis-estimate the plan must stay structurally
+  // valid — the stale numbers are wrong, not malformed.
+  ValidationReport plan_report = PlanValidator(w->catalog.get()).Validate(plan);
+  if (!plan_report.ok()) {
+    std::fprintf(stderr, "%s", plan_report.ToString().c_str());
+    return 1;
+  }
   std::printf("plan under investigation:\n%s\n", PlanToString(plan).c_str());
 
   ExecOptions exec;
@@ -68,6 +77,7 @@ int main() {
 
   ProgressEstimator estimator(&plan, w->catalog.get(),
                               EstimatorOptions::Lqs());
+  ProgressInvariantChecker checker(&estimator);
   const double est_outer = plan.node(outer_scan).est_rows;
   bool alerted = false;
   std::printf("%10s %8s %14s %14s %12s\n", "time(ms)", "NLJ %",
@@ -76,7 +86,7 @@ int main() {
   const size_t stride = std::max<size_t>(1, snaps.size() / 15);
   for (size_t i = 0; i < snaps.size(); i += stride) {
     const auto& snap = snaps[i];
-    ProgressReport report = estimator.Estimate(snap);
+    ProgressReport report = checker.EstimateChecked(snap);
     const auto& outer_prof = snap.operators[outer_scan];
     std::printf("%10.0f %7.1f%% %14llu %14.0f %12.0f\n", snap.time_ms,
                 100 * report.operator_progress[nlj],
@@ -106,5 +116,9 @@ int main() {
               static_cast<double>(fin.operators[outer_scan].row_count) /
                   std::max(1.0, est_outer),
               alerted ? "was raised" : "was NOT raised");
+  if (!checker.report().ok()) {
+    std::fprintf(stderr, "%s", checker.report().ToString().c_str());
+    return 1;
+  }
   return alerted ? 0 : 1;
 }

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "common/stringf.h"
 #include "exec/executor.h"
 #include "lqs/estimator.h"
@@ -90,18 +92,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result->rows_returned),
               result->duration_ms, result->trace.snapshots.size());
 
+  ValidationReport plan_report =
+      PlanValidator(w->catalog.get()).Validate(query->plan);
+  if (!plan_report.ok()) {
+    std::fprintf(stderr, "%s", plan_report.ToString().c_str());
+    return 1;
+  }
+
   ProgressEstimator estimator(&query->plan, w->catalog.get(),
                               EstimatorOptions::Lqs());
+  ProgressInvariantChecker checker(&estimator);
   const auto& snaps = result->trace.snapshots;
   const size_t frames = 8;
   const size_t stride = std::max<size_t>(1, snaps.size() / frames);
   for (size_t i = 0; i < snaps.size(); i += stride) {
-    ProgressReport report = estimator.Estimate(snaps[i]);
+    ProgressReport report = checker.EstimateChecked(snaps[i]);
     RenderFrame(query->plan, snaps[i], report, result->duration_ms);
   }
   ProgressReport final_report =
-      estimator.Estimate(result->trace.final_snapshot);
+      checker.EstimateChecked(result->trace.final_snapshot);
   RenderFrame(query->plan, result->trace.final_snapshot, final_report,
               result->duration_ms);
+  checker.CheckFinal(result->trace.final_snapshot);
+  if (!checker.report().ok()) {
+    std::fprintf(stderr, "%s", checker.report().ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "exec/executor.h"
 #include "lqs/estimator.h"
 #include "workload/workload.h"
@@ -48,12 +50,18 @@ int main() {
 
   const char* wanted[] = {"ds_q03", "ds_q13", "ds_q42", "ds_q25"};
   std::vector<RunningQuery> running;
+  PlanValidator validator(w->catalog.get());
   ExecOptions exec;
   exec.snapshot_interval_ms = 5.0;
   double offset = 0;
   for (const char* name : wanted) {
     for (auto& q : w->queries) {
       if (q.name != name) continue;
+      ValidationReport plan_report = validator.Validate(q.plan);
+      if (!plan_report.ok()) {
+        std::fprintf(stderr, "%s", plan_report.ToString().c_str());
+        return 1;
+      }
       auto result = ExecuteQuery(q.plan, w->catalog.get(), exec);
       if (!result.ok()) return 1;
       running.push_back(RunningQuery{
@@ -64,6 +72,11 @@ int main() {
       offset += 40.0;  // stagger arrivals by 40 virtual ms
     }
   }
+  // One invariant checker per window, attached after `running` stops
+  // reallocating (each checker keeps a pointer to its estimator).
+  std::vector<ProgressInvariantChecker> checkers;
+  checkers.reserve(running.size());
+  for (const auto& r : running) checkers.emplace_back(&r.estimator);
 
   double horizon = 0;
   for (const auto& r : running) {
@@ -75,7 +88,8 @@ int main() {
   const double tick = horizon / 12;
   for (double t = tick; t <= horizon + 1e-9; t += tick) {
     std::printf("t=%6.0f ms |", t);
-    for (const auto& r : running) {
+    for (size_t qi = 0; qi < running.size(); ++qi) {
+      const auto& r = running[qi];
       const double local = t - r.start_offset_ms;
       if (local < 0) {
         std::printf(" %-8s   wait |", r.query->name.c_str());
@@ -89,12 +103,21 @@ int main() {
       double progress =
           snap == nullptr
               ? 0.0
-              : r.estimator.Estimate(*snap).query_progress;
+              : checkers[qi].EstimateChecked(*snap).query_progress;
       std::printf(" %-8s %5.1f%% |", r.query->name.c_str(), 100 * progress);
     }
     std::printf("\n");
   }
   std::printf("\nEach column is one LQS window (§2.1); estimates come from "
               "per-query DMV polls.\n");
-  return 0;
+  int violations = 0;
+  for (size_t qi = 0; qi < running.size(); ++qi) {
+    checkers[qi].CheckFinal(running[qi].result.trace.final_snapshot);
+    if (!checkers[qi].report().ok()) {
+      std::fprintf(stderr, "%s: %s", running[qi].query->name.c_str(),
+                   checkers[qi].report().ToString().c_str());
+      violations++;
+    }
+  }
+  return violations == 0 ? 0 : 1;
 }

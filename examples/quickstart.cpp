@@ -12,6 +12,8 @@
 
 #include <cstdio>
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "common/rng.h"
 #include "exec/executor.h"
 #include "lqs/estimator.h"
@@ -55,6 +57,13 @@ int main() {
 
   // 3. Optimizer annotation — estimated rows and CPU/I-O costs per node.
   if (!AnnotatePlan(&plan, catalog, OptimizerOptions{}).ok()) return 1;
+  // Sanity-check the finished plan before estimating progress on it; the
+  // validator catches malformed id spaces, arities and negative estimates.
+  ValidationReport plan_report = PlanValidator(&catalog).Validate(plan);
+  if (!plan_report.ok()) {
+    std::fprintf(stderr, "%s", plan_report.ToString().c_str());
+    return 1;
+  }
   std::printf("Execution plan:\n%s\n", PlanToString(plan).c_str());
 
   // 4. Execute; the profiler polls the DMV counters every 5 virtual ms.
@@ -70,19 +79,27 @@ int main() {
               static_cast<unsigned long long>(result->rows_returned),
               result->duration_ms, result->trace.snapshots.size());
 
-  // 5. Replay the DMV snapshots through the LQS estimator.
+  // 5. Replay the DMV snapshots through the LQS estimator. The invariant
+  //    checker rides along and turns any out-of-range or inconsistent
+  //    progress value into a nonzero exit.
   ProgressEstimator estimator(&plan, &catalog, EstimatorOptions::Lqs());
+  ProgressInvariantChecker checker(&estimator);
   std::printf("%10s %10s | per-operator progress\n", "time(ms)", "query");
   const auto& snaps = result->trace.snapshots;
   const size_t stride = std::max<size_t>(1, snaps.size() / 12);
   for (size_t i = 0; i < snaps.size(); i += stride) {
-    ProgressReport report = estimator.Estimate(snaps[i]);
+    ProgressReport report = checker.EstimateChecked(snaps[i]);
     std::printf("%10.1f %9.1f%% |", snaps[i].time_ms,
                 100 * report.query_progress);
     for (int node = 0; node < plan.size(); ++node) {
       std::printf(" [%d]%3.0f%%", node, 100 * report.operator_progress[node]);
     }
     std::printf("\n");
+  }
+  checker.CheckFinal(result->trace.final_snapshot);
+  if (!checker.report().ok()) {
+    std::fprintf(stderr, "%s", checker.report().ToString().c_str());
+    return 1;
   }
   std::printf("\nOperators: [0]=Sort [1]=Hash Aggregate [2]=Scan\n");
   return 0;

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Repo-specific lint gate. Runs everywhere (plain bash + grep); picks up
+# clang-format / clang-tidy when installed, skips them with a notice when
+# not. Exits non-zero on any violation.
+#
+#   scripts/lint.sh            # all custom rules + format check if available
+#   LINT_STRICT_FORMAT=1 scripts/lint.sh   # formatting violations are fatal
+#
+# Rules enforced (see DESIGN.md §7):
+#   1. Include guards must be derived from the file path:
+#        src/lqs/bounds.h   -> LQS_LQS_BOUNDS_H_
+#        tests/test_util.h  -> LQS_TESTS_TEST_UTIL_H_
+#   2. No naked assert() in src/ outside the validator layer and the
+#      documented primitive allowlist — invariants belong in Status-returning
+#      checks (src/analysis/) that stay loud in Release builds.
+#   3. No floating-point ==/!= comparisons in estimator/analysis code
+#      (src/lqs/, src/analysis/): progress arithmetic must compare against
+#      tolerances. Suppress a deliberate exact comparison with
+#      `// lint:allow-float-eq` on the same line.
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+fail() {
+  echo "lint: $*" >&2
+  failures=$((failures + 1))
+}
+
+# ---- 1. Include guards ----------------------------------------------------
+while IFS= read -r header; do
+  rel="${header#./}"
+  case "$rel" in
+    src/*) stem="${rel#src/}" ;;
+    *)     stem="$rel" ;;
+  esac
+  guard="LQS_$(echo "${stem%.h}_H_" | tr 'a-z/.-' 'A-Z___')"
+  if ! grep -q "^#ifndef ${guard}\$" "$rel" ||
+     ! grep -q "^#define ${guard}\$" "$rel"; then
+    fail "$rel: include guard must be ${guard}"
+  fi
+done < <(find src tests bench -name '*.h' -type f)
+
+# ---- 2. Naked asserts in src/ ---------------------------------------------
+# Allowlist: low-level primitives whose documented preconditions are checked
+# with assert by design (constructing a StatusOr from OK, RNG range misuse).
+assert_allowlist='^src/common/statusor\.h$|^src/common/rng\.cc$'
+while IFS=: read -r file line _; do
+  if ! echo "$file" | grep -Eq "$assert_allowlist"; then
+    fail "$file:$line: naked assert() in src/ — return a Status (or move the check into src/analysis/)"
+  fi
+done < <(grep -rnE '(^|[^_[:alnum:]])assert\(' src --include='*.cc' --include='*.h' | grep -v 'static_assert')
+
+# ---- 3. Floating-point equality in estimator code -------------------------
+# Heuristic: ==/!= against a floating literal, or between est_*/progress/
+# *_ms/alpha/weight-style identifiers known to be double in this codebase.
+float_eq_pattern='(==|!=)[[:space:]]*[0-9]+\.[0-9]|[0-9]+\.[0-9]+[[:space:]]*(==|!=)|(est_rows|est_cpu_ms|est_io_ms|est_rebinds|_progress|alpha|n_hat)(\[[^][]*\])?[[:space:]]*(==|!=)|(==|!=)[[:space:]]*[A-Za-z_.]*(est_rows|est_cpu_ms|est_io_ms|est_rebinds|_progress|n_hat)'
+while IFS=: read -r file line text; do
+  case "$text" in
+    *'lint:allow-float-eq'*) continue ;;
+  esac
+  fail "$file:$line: floating-point ==/!= in estimator code — compare against a tolerance"
+done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis --include='*.cc' --include='*.h')
+
+# ---- 4. clang-format (when installed) -------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  fmt_out=$(find src tests bench examples \
+              \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -type f \
+              -exec clang-format --dry-run {} + 2>&1)
+  if [ -n "$fmt_out" ]; then
+    echo "$fmt_out" | head -40 >&2
+    if [ "${LINT_STRICT_FORMAT:-0}" = "1" ]; then
+      fail "clang-format reported violations (strict mode)"
+    else
+      echo "lint: NOTE: clang-format reported violations (informational;" \
+           "set LINT_STRICT_FORMAT=1 to make fatal)" >&2
+    fi
+  fi
+else
+  echo "lint: clang-format not installed; skipping format check" >&2
+fi
+
+# ---------------------------------------------------------------------------
+if [ "$failures" -gt 0 ]; then
+  echo "lint: FAILED with $failures violation(s)" >&2
+  exit 1
+fi
+echo "lint: OK"

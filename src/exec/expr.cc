@@ -1,7 +1,8 @@
 #include "exec/expr.h"
 
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lqs {
 
@@ -62,7 +63,17 @@ Value Expr::Eval(const Row& row, const Row* outer) const {
     case Kind::kColumn:
       return row[column_index_];
     case Kind::kOuterColumn:
-      assert(outer != nullptr && "outer column without outer row binding");
+      if (outer == nullptr) {
+        // FinalizePlan rejects plans that place outer-column references
+        // outside a Nested Loops inner side, so this is unreachable for any
+        // finalized plan; fail loudly (in every build type) rather than
+        // read through a null pointer if an unvalidated tree gets here.
+        std::fprintf(stderr,
+                     "lqs: outer column %d evaluated without an outer row "
+                     "binding\n",
+                     column_index_);
+        std::abort();
+      }
       return (*outer)[column_index_];
     case Kind::kLiteral:
       return literal_;
@@ -112,6 +123,12 @@ int Expr::NodeCount() const {
   if (left_) n += left_->NodeCount();
   if (right_) n += right_->NodeCount();
   return n;
+}
+
+bool Expr::ContainsOuterColumn() const {
+  if (kind_ == Kind::kOuterColumn) return true;
+  if (left_ != nullptr && left_->ContainsOuterColumn()) return true;
+  return right_ != nullptr && right_->ContainsOuterColumn();
 }
 
 std::unique_ptr<Expr> Expr::Clone() const {

@@ -81,6 +81,11 @@ class Expr {
   /// Number of nodes; proxy for per-row evaluation CPU cost.
   int NodeCount() const;
 
+  /// True when any node of this tree is a kOuterColumn reference. Plans may
+  /// only carry such expressions on the inner side of a Nested Loops join,
+  /// where the executor binds an outer row; FinalizePlan enforces this.
+  bool ContainsOuterColumn() const;
+
   /// Deep copy.
   std::unique_ptr<Expr> Clone() const;
 

@@ -376,6 +376,35 @@ Status ValidatePlan(const PlanNode& node) {
   return Status::OK();
 }
 
+/// Outer-column references are bound by the executor only on the inner side
+/// of a Nested Loops join; anywhere else Eval would be handed a null outer
+/// row. Rejecting such plans here keeps the hot evaluation path free of
+/// per-row binding checks.
+Status CheckOuterBindings(const PlanNode& node, bool outer_available) {
+  auto check = [&](const Expr* e, const char* what) -> Status {
+    if (e != nullptr && !outer_available && e->ContainsOuterColumn()) {
+      return Status::InvalidArgument(
+          std::string(what) + " of " + OpTypeName(node.type) +
+          " references an outer column outside a Nested Loops inner side");
+    }
+    return Status::OK();
+  };
+  LQS_RETURN_IF_ERROR(check(node.seek_lo.get(), "seek bound"));
+  LQS_RETURN_IF_ERROR(check(node.seek_hi.get(), "seek bound"));
+  LQS_RETURN_IF_ERROR(check(node.pushed_predicate.get(), "pushed predicate"));
+  LQS_RETURN_IF_ERROR(check(node.predicate.get(), "predicate"));
+  for (const auto& p : node.projections) {
+    LQS_RETURN_IF_ERROR(check(p.get(), "projection"));
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const bool child_outer =
+        outer_available ||
+        (node.type == OpType::kNestedLoopJoin && i == 1);
+    LQS_RETURN_IF_ERROR(CheckOuterBindings(*node.children[i], child_outer));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<Plan> FinalizePlan(std::unique_ptr<PlanNode> root,
@@ -383,6 +412,7 @@ StatusOr<Plan> FinalizePlan(std::unique_ptr<PlanNode> root,
   if (root == nullptr) return Status::InvalidArgument("null plan");
   LQS_RETURN_IF_ERROR(DeriveSchema(*root, catalog));
   LQS_RETURN_IF_ERROR(ValidatePlan(*root));
+  LQS_RETURN_IF_ERROR(CheckOuterBindings(*root, /*outer_available=*/false));
   Plan plan;
   plan.root = std::move(root);
   int next_id = 0;

@@ -187,6 +187,7 @@ void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
       const double k = K(snap, id);
       const bool inner = self->analysis_.on_nlj_inner_side[id];
       double estimate = node.est_rows;  // showplan default
+      bool locally_refined = false;     // estimate replaced by observation
 
       if (prof.finished && !inner) {
         (*n_hat)[id] = std::max(1.0, k);
@@ -239,6 +240,7 @@ void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
             const double fraction =
                 std::clamp(processed / std::max(1.0, outer_total), 1e-9, 1.0);
             estimate = k / fraction;
+            locally_refined = true;
           }
         } else if (!inner) {
           // Scale-up basis: pipeline driver progress, or the immediate
@@ -288,6 +290,7 @@ void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
             estimate = self->options_.interpolate_refinement
                            ? (1.0 - a) * node.est_rows + a * scaled
                            : scaled;
+            locally_refined = true;
           }
         }
       }
@@ -297,7 +300,7 @@ void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
       // ratio by which the children's estimates moved.
       if (self->options_.propagate_refinement && !inner &&
           k < static_cast<double>(self->options_.refine_min_rows) &&
-          !node.children.empty() && estimate == node.est_rows) {
+          !node.children.empty() && !locally_refined) {
         double ratio = 1.0;
         int contributing = 0;
         for (const auto& c : node.children) {

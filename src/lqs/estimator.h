@@ -92,6 +92,8 @@ class ProgressEstimator {
 
   const PlanAnalysis& analysis() const { return analysis_; }
   const EstimatorOptions& options() const { return options_; }
+  const Plan& plan() const { return *plan_; }
+  const Catalog& catalog() const { return *catalog_; }
 
   /// §7(b) extension: apply learned per-operator-type cost multipliers to
   /// the pipeline weights. `feedback` must outlive the estimator; pass

@@ -158,6 +158,76 @@ TEST_F(BoundsTest, SpoolUnboundedOnInnerSide) {
   EXPECT_TRUE(std::isinf(b.upper[spool_id]));
 }
 
+// ---- Edge cases: empty inputs, infinite uppers, end-of-stream ----
+
+TEST_F(BoundsTest, EmptyTableScanHasZeroExactBounds) {
+  auto empty = std::make_unique<Table>(
+      "t_empty", Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  ASSERT_OK(empty->ClusterBy(0));
+  ASSERT_OK(catalog_->AddTable(std::move(empty)));
+  ASSERT_OK(catalog_->BuildAllStatistics(StatisticsOptions{}));
+
+  Plan plan = MustFinalize(
+      Filter(Scan("t_empty"), ColCmp(1, CompareOp::kLt, 10)), *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(2);
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  // A full scan of a zero-row table is exactly bounded at zero before the
+  // first poll, and the filter above it inherits the empty corridor.
+  EXPECT_DOUBLE_EQ(b.lower[1], 0.0);
+  EXPECT_DOUBLE_EQ(b.upper[1], 0.0);
+  EXPECT_DOUBLE_EQ(b.lower[0], 0.0);
+  EXPECT_DOUBLE_EQ(b.upper[0], 0.0);
+  // Clamp into a degenerate [0, 0] corridor pins every estimate at zero.
+  EXPECT_DOUBLE_EQ(b.Clamp(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.Clamp(0, 12345.0), 0.0);
+}
+
+TEST_F(BoundsTest, ClampStaysFiniteUnderUnboundedSpool) {
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner, Scan("t_small"),
+          EagerSpool(Filter(Scan("t_small"), ColCmp(1, CompareOp::kEq, 0)))),
+      *catalog_);
+  int spool_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (n.type == OpType::kEagerSpool) spool_id = n.id;
+  });
+  ProfileSnapshot snap;
+  snap.operators.resize(static_cast<size_t>(plan.size()));
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, snap);
+  ASSERT_TRUE(std::isinf(b.upper[spool_id]));
+  // An infinite upper bound must never leak infinity (or NaN) into a
+  // clamped estimate: a finite probe comes back finite, idempotent, and at
+  // least the lower bound.
+  for (double probe : {0.0, 1.0, 1e6, 1e18}) {
+    const double c = b.Clamp(spool_id, probe);
+    EXPECT_TRUE(std::isfinite(c)) << "probe " << probe;
+    EXPECT_GE(c, b.lower[spool_id]) << "probe " << probe;
+    EXPECT_DOUBLE_EQ(b.Clamp(spool_id, c), c) << "probe " << probe;
+  }
+}
+
+TEST_F(BoundsTest, EndOfStreamBoundsCollapseToTrueCardinality) {
+  Plan plan = MustFinalize(
+      Sort(Filter(Scan("t_big"), ColCmp(2, CompareOp::kLt, 37)), {1}),
+      *catalog_);
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  auto result = MustExecute(plan, catalog_.get(), exec);
+  const auto& fin = result.trace.final_snapshot;
+  CardinalityBounds b = ComputeBounds(plan, *catalog_, fin);
+  for (int i = 0; i < plan.size(); ++i) {
+    ASSERT_TRUE(fin.operators[i].finished) << "node " << i;
+    const double k = static_cast<double>(fin.operators[i].row_count);
+    // Appendix A: an operator at end-of-stream has exact bounds
+    // lower = upper = K_i, so Clamp becomes the constant function K_i.
+    EXPECT_DOUBLE_EQ(b.lower[i], k) << "node " << i;
+    EXPECT_DOUBLE_EQ(b.upper[i], k) << "node " << i;
+    EXPECT_DOUBLE_EQ(b.Clamp(i, 0.0), k) << "node " << i;
+    EXPECT_DOUBLE_EQ(b.Clamp(i, 1e12), k) << "node " << i;
+  }
+}
+
 // ---- Soundness property over live executions ----
 
 TEST_F(BoundsTest, SoundOverLiveFilterQuery) {

@@ -10,6 +10,8 @@
 
 #include "gtest/gtest.h"
 
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
 #include "lqs/estimator.h"
 #include "lqs/metrics.h"
 #include "tests/test_util.h"
@@ -90,8 +92,15 @@ TEST_P(EstimatorMatrixTest, InvariantsHoldOnEveryQuery) {
     const ExecutionResult& run = shared.runs[qi];
     ProgressEstimator estimator(&q.plan, shared.workload.catalog.get(),
                                 config.options);
+    // This matrix includes deliberately unguarded configurations
+    // (refine_min_rows = 0, propagation, interpolation) whose cardinality
+    // revisions drop query progress by 0.5+ within one polling interval;
+    // the checker recognizes revision events and only flags regressions
+    // that happen with a stable cardinality vector, so the defaults hold
+    // even here.
+    ProgressInvariantChecker checker(&estimator);
     for (const auto& snap : run.trace.snapshots) {
-      ProgressReport r = estimator.Estimate(snap);
+      ProgressReport r = checker.EstimateChecked(snap);
       ASSERT_TRUE(std::isfinite(r.query_progress))
           << config.name << "/" << q.name;
       ASSERT_GE(r.query_progress, 0.0) << config.name << "/" << q.name;
@@ -121,6 +130,19 @@ TEST_P(EstimatorMatrixTest, InvariantsHoldOnEveryQuery) {
     } else {
       ASSERT_GE(done.query_progress, 0.35) << config.name << "/" << q.name;
     }
+    // The runtime checker must agree with the explicit assertions above:
+    // the whole replay was violation-free under this configuration.
+    ASSERT_TRUE(checker.report().ok())
+        << config.name << "/" << q.name << "\n" << checker.report().ToString();
+  }
+}
+
+TEST_P(EstimatorMatrixTest, PlansPassStaticValidation) {
+  Shared& shared = GetShared();
+  PlanValidator validator(shared.workload.catalog.get());
+  for (const WorkloadQuery& q : shared.workload.queries) {
+    ValidationReport report = validator.Validate(q.plan, AnalyzePlan(q.plan));
+    ASSERT_TRUE(report.ok()) << q.name << "\n" << report.ToString();
   }
 }
 

@@ -1,0 +1,178 @@
+// Monitor-subsystem scale benchmark: ≥64 staggered TPC-DS / TPC-H sessions
+// replayed through one MonitorService, measuring per-tick latency and
+// report throughput, and *proving* the determinism contract: the rendered
+// monitor output of a 1-thread run and an N-thread run are compared
+// byte-for-byte on every invocation.
+//
+//   $ ./build/bench/monitor_scale [--threads=N] [--sessions=N]
+//
+// Environment: LQS_MONITOR_THREADS overrides --threads (0 = hardware).
+// All monitor lines are deterministic; the trailing "BENCH {...}" JSON line
+// carries the wall-clock measurements (reports/sec, p50/p95 latencies) and
+// is the only nondeterministic output:
+//
+//   $ diff <(./monitor_scale --threads=1 | grep -v '^BENCH') \
+//          <(./monitor_scale --threads=8 | grep -v '^BENCH')
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stringf.h"
+#include "exec/executor.h"
+#include "monitor/monitor_service.h"
+#include "workload/workload.h"
+
+using namespace lqs;         // NOLINT: bench code
+using namespace lqs::bench;  // NOLINT
+
+namespace {
+
+struct Executed {
+  const WorkloadQuery* query;
+  const Catalog* catalog;
+  ExecutionResult result;
+};
+
+/// One deterministic line per tick: shared-timeline time, state counts, and
+/// progress of every session in registration order (3 decimal places — the
+/// exact doubles are identical across thread counts, this just keeps lines
+/// readable). This is the string compared across thread counts.
+std::string RenderTimeline(MonitorService* monitor) {
+  std::string out;
+  monitor->RunToCompletion(
+      [&out](double t, const std::vector<SessionStatus>& statuses) {
+        size_t active = 0, waiting = 0, done = 0;
+        std::string row;
+        for (const SessionStatus& s : statuses) {
+          switch (s.state) {
+            case SessionState::kWaiting: ++waiting; row += "  ----"; break;
+            case SessionState::kDone:    ++done;    row += "  done"; break;
+            case SessionState::kRunning:
+              ++active;
+              row += StringF(" %5.3f", s.progress);
+              break;
+          }
+        }
+        out += StringF("t=%7.1f active=%2zu waiting=%2zu done=%2zu |%s\n", t,
+                       active, waiting, done, row.c_str());
+      });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 0;  // hardware default
+  size_t num_sessions = 64;
+  if (const char* env = std::getenv("LQS_MONITOR_THREADS")) {
+    threads = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      num_sessions = static_cast<size_t>(std::atoll(argv[i] + 11));
+    }
+  }
+
+  // Build and execute the distinct queries once; the monitor then replays
+  // the traces as many concurrent sessions (the same query text run by many
+  // users — which is exactly what the estimator cache exploits).
+  TpcdsOptions ds;
+  ds.scale = 0.2;
+  auto wds = MakeTpcdsWorkload(ds);
+  TpchOptions h;
+  h.scale = 0.2;
+  auto wh = MakeTpchWorkload(h);
+  if (!wds.ok() || !wh.ok()) {
+    std::fprintf(stderr, "workload construction failed\n");
+    return 1;
+  }
+  OptimizerOptions oo;
+  oo.selectivity_error = kBenchSelectivityError;
+  if (!AnnotateWorkload(&wds.value(), oo).ok() ||
+      !AnnotateWorkload(&wh.value(), oo).ok()) {
+    return 1;
+  }
+  ExecOptions exec;
+  exec.snapshot_interval_ms = kBenchSnapshotIntervalMs;
+  std::vector<Executed> executed;
+  for (Workload* w : {&wds.value(), &wh.value()}) {
+    for (const WorkloadQuery& q : w->queries) {
+      auto result = ExecuteQuery(q.plan, w->catalog.get(), exec);
+      if (!result.ok()) continue;  // a failed query is not monitorable
+      executed.push_back(
+          Executed{&q, w->catalog.get(), std::move(result).value()});
+    }
+  }
+  if (executed.empty()) {
+    std::fprintf(stderr, "no queries executed\n");
+    return 1;
+  }
+
+  // Register `num_sessions` sessions cycling through the executed traces,
+  // arrivals staggered so the monitor sees waiting, active and finished
+  // sessions on the same tick.
+  auto populate = [&](MonitorService* monitor) {
+    double offset = 0;
+    for (size_t i = 0; i < num_sessions; ++i) {
+      const Executed& e = executed[i % executed.size()];
+      monitor->RegisterSession(StringF("s%03zu:%s", i, e.query->name.c_str()),
+                               &e.query->plan, e.catalog, &e.result.trace,
+                               offset);
+      offset += 11.0;
+    }
+  };
+
+  MonitorOptions serial_opt;
+  serial_opt.num_threads = 1;
+  serial_opt.ticks_per_horizon = 24;
+  MonitorOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = threads;
+
+  // Reference serial run, then the measured parallel run; the rendered
+  // timelines must match byte-for-byte (the determinism contract).
+  MonitorService serial(serial_opt);
+  populate(&serial);
+  const std::string serial_render = RenderTimeline(&serial);
+
+  MonitorService parallel(parallel_opt);
+  populate(&parallel);
+  const std::string parallel_render = RenderTimeline(&parallel);
+
+  const bool deterministic = serial_render == parallel_render;
+  std::fputs(parallel_render.c_str(), stdout);
+
+  ValidationReport invariants = parallel.FinalCheck();
+  if (!invariants.ok()) {
+    std::fprintf(stderr, "%s", invariants.ToString().c_str());
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: 1-thread and %d-thread renders differ (%zu vs %zu "
+                 "bytes)\n",
+                 parallel.stats().num_threads, serial_render.size(),
+                 parallel_render.size());
+    return 1;
+  }
+
+  const MonitorStats stats = parallel.stats();
+  std::printf(
+      "BENCH {\"bench\":\"monitor_scale\",\"sessions\":%zu,"
+      "\"distinct_queries\":%zu,\"estimators_cached\":%zu,\"threads\":%d,"
+      "\"ticks\":%llu,\"reports\":%llu,\"reports_per_sec\":%.0f,"
+      "\"p50_estimate_ms\":%.4f,\"p95_estimate_ms\":%.4f,"
+      "\"p50_tick_ms\":%.4f,\"p95_tick_ms\":%.4f,\"deterministic\":%s}\n",
+      stats.sessions, executed.size(), stats.estimators_cached,
+      stats.num_threads, static_cast<unsigned long long>(stats.ticks),
+      static_cast<unsigned long long>(stats.reports_computed),
+      stats.reports_per_sec, stats.p50_estimate_latency_ms,
+      stats.p95_estimate_latency_ms, stats.p50_tick_latency_ms,
+      stats.p95_tick_latency_ms, deterministic ? "true" : "false");
+  return 0;
+}

@@ -10,15 +10,17 @@
 //  cardinality estimation problem."
 //
 // This example builds exactly that situation (a badly under-estimated outer
-// side feeding a nested loops join), polls the running query's DMV, and
-// raises the alert the moment the observed row count overtakes the estimate.
+// side feeding a nested loops join), registers the running query with the
+// MonitorService — the same subsystem the multi-query dashboard uses — and
+// raises the alert the moment a monitor tick shows the observed row count
+// overtaking the estimate.
 
+#include <algorithm>
 #include <cstdio>
 
-#include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
 #include "exec/executor.h"
-#include "lqs/estimator.h"
+#include "monitor/monitor_service.h"
 #include "optimizer/annotate.h"
 #include "workload/plan_builder.h"
 #include "workload/workload.h"
@@ -75,23 +77,27 @@ int main() {
   auto result = ExecuteQuery(plan, w->catalog.get(), exec);
   if (!result.ok()) return 1;
 
-  ProgressEstimator estimator(&plan, w->catalog.get(),
-                              EstimatorOptions::Lqs());
-  ProgressInvariantChecker checker(&estimator);
+  // One dedicated monitor window for the suspect query, ~15 dashboard
+  // refreshes over its lifetime.
+  MonitorOptions mopt;
+  mopt.ticks_per_horizon = 15;
+  MonitorService monitor(mopt);
+  monitor.RegisterSession("dba_nlj", &plan, w->catalog.get(), &result->trace,
+                          /*start_offset_ms=*/0);
+
   const double est_outer = plan.node(outer_scan).est_rows;
   bool alerted = false;
   std::printf("%10s %8s %14s %14s %12s\n", "time(ms)", "NLJ %",
               "outer rows", "outer est", "refined est");
-  const auto& snaps = result->trace.snapshots;
-  const size_t stride = std::max<size_t>(1, snaps.size() / 15);
-  for (size_t i = 0; i < snaps.size(); i += stride) {
-    const auto& snap = snaps[i];
-    ProgressReport report = checker.EstimateChecked(snap);
-    const auto& outer_prof = snap.operators[outer_scan];
-    std::printf("%10.0f %7.1f%% %14llu %14.0f %12.0f\n", snap.time_ms,
-                100 * report.operator_progress[nlj],
+  monitor.RunToCompletion([&](double t,
+                              const std::vector<SessionStatus>& statuses) {
+    const SessionStatus& s = statuses[0];
+    if (s.state != SessionState::kRunning || s.snapshot == nullptr) return;
+    const auto& outer_prof = s.snapshot->operators[outer_scan];
+    std::printf("%10.0f %7.1f%% %14llu %14.0f %12.0f\n", t,
+                100 * s.report.operator_progress[nlj],
                 static_cast<unsigned long long>(outer_prof.row_count),
-                est_outer, report.refined_rows[outer_scan]);
+                est_outer, s.report.refined_rows[outer_scan]);
     if (!alerted &&
         static_cast<double>(outer_prof.row_count) > 1.5 * est_outer) {
       alerted = true;
@@ -102,11 +108,10 @@ int main() {
           "misestimate.\n"
           ">>> Remediation: update statistics on fact1.m1, or hint a hash "
           "join.\n",
-          snap.time_ms,
-          static_cast<unsigned long long>(outer_prof.row_count),
+          t, static_cast<unsigned long long>(outer_prof.row_count),
           static_cast<double>(outer_prof.row_count) / est_outer, est_outer);
     }
-  }
+  });
   const auto& fin = result->trace.final_snapshot;
   std::printf("\nfinal: outer side produced %llu rows vs estimate %.0f "
               "(%.0fx off); alert %s mid-flight.\n",
@@ -116,8 +121,9 @@ int main() {
               static_cast<double>(fin.operators[outer_scan].row_count) /
                   std::max(1.0, est_outer),
               alerted ? "was raised" : "was NOT raised");
-  if (!checker.report().ok()) {
-    std::fprintf(stderr, "%s", checker.report().ToString().c_str());
+  ValidationReport final_report = monitor.FinalCheck();
+  if (!final_report.ok()) {
+    std::fprintf(stderr, "%s", final_report.ToString().c_str());
     return 1;
   }
   return alerted ? 0 : 1;

@@ -1,43 +1,23 @@
 // LQS supports "multiple, concurrently executing queries, each of them being
-// given their own dedicated window" (§2.1). This example emulates that: it
-// runs several queries, interleaves their DMV traces on a common virtual
-// timeline, and renders one status line per query per tick — the data an
-// administrator dashboard would show.
+// given their own dedicated window" (§2.1). This example is that front-end
+// on top of MonitorService: it executes several queries, registers their DMV
+// traces as staggered sessions on the service's shared virtual timeline, and
+// renders one status line per query per tick — the data an administrator
+// dashboard would show. The per-tick estimates are computed by the service's
+// worker pool; rendering happens in session order, so the output is
+// identical no matter how many threads the pool uses.
 //
 //   $ ./build/examples/multi_query_monitor
 
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
 #include "exec/executor.h"
-#include "lqs/estimator.h"
+#include "monitor/monitor_service.h"
 #include "workload/workload.h"
 
 using namespace lqs;  // NOLINT: example code
-
-namespace {
-
-struct RunningQuery {
-  const WorkloadQuery* query;
-  ExecutionResult result;
-  ProgressEstimator estimator;
-  double start_offset_ms;  // staggered arrival on the shared timeline
-};
-
-/// Snapshot at-or-before `t` on the query's own clock, or nullptr.
-const ProfileSnapshot* SnapshotAt(const ProfileTrace& trace, double t) {
-  const ProfileSnapshot* best = nullptr;
-  for (const auto& snap : trace.snapshots) {
-    if (snap.time_ms <= t) best = &snap;
-    else break;
-  }
-  return best;
-}
-
-}  // namespace
 
 int main() {
   TpcdsOptions opt;
@@ -48,12 +28,18 @@ int main() {
   oo.selectivity_error = 1.0;
   if (!AnnotateWorkload(&w.value(), oo).ok()) return 1;
 
+  // Execute the queries first (the monitor replays completed traces), then
+  // register; registering after the vector stops growing keeps the trace
+  // pointers stable.
+  struct Executed {
+    const WorkloadQuery* query;
+    ExecutionResult result;
+  };
   const char* wanted[] = {"ds_q03", "ds_q13", "ds_q42", "ds_q25"};
-  std::vector<RunningQuery> running;
+  std::vector<Executed> executed;
   PlanValidator validator(w->catalog.get());
   ExecOptions exec;
   exec.snapshot_interval_ms = 5.0;
-  double offset = 0;
   for (const char* name : wanted) {
     for (auto& q : w->queries) {
       if (q.name != name) continue;
@@ -64,60 +50,52 @@ int main() {
       }
       auto result = ExecuteQuery(q.plan, w->catalog.get(), exec);
       if (!result.ok()) return 1;
-      running.push_back(RunningQuery{
-          &q, std::move(result).value(),
-          ProgressEstimator(&q.plan, w->catalog.get(),
-                            EstimatorOptions::Lqs()),
-          offset});
-      offset += 40.0;  // stagger arrivals by 40 virtual ms
+      executed.push_back(Executed{&q, std::move(result).value()});
     }
   }
-  // One invariant checker per window, attached after `running` stops
-  // reallocating (each checker keeps a pointer to its estimator).
-  std::vector<ProgressInvariantChecker> checkers;
-  checkers.reserve(running.size());
-  for (const auto& r : running) checkers.emplace_back(&r.estimator);
 
-  double horizon = 0;
-  for (const auto& r : running) {
-    horizon = std::max(horizon, r.start_offset_ms + r.result.duration_ms);
+  MonitorService monitor;  // defaults: hardware threads, checkers on
+  double offset = 0;
+  for (const Executed& e : executed) {
+    monitor.RegisterSession(e.query->name, &e.query->plan, w->catalog.get(),
+                            &e.result.trace, offset);
+    offset += 40.0;  // stagger arrivals by 40 virtual ms
   }
 
   std::printf("monitoring %zu concurrent queries (virtual time)\n\n",
-              running.size());
-  const double tick = horizon / 12;
-  for (double t = tick; t <= horizon + 1e-9; t += tick) {
+              monitor.session_count());
+  monitor.RunToCompletion([&](double t,
+                              const std::vector<SessionStatus>& statuses) {
     std::printf("t=%6.0f ms |", t);
-    for (size_t qi = 0; qi < running.size(); ++qi) {
-      const auto& r = running[qi];
-      const double local = t - r.start_offset_ms;
-      if (local < 0) {
-        std::printf(" %-8s   wait |", r.query->name.c_str());
-        continue;
+    for (const SessionStatus& s : statuses) {
+      const char* name = monitor.session_name(s.session_id).c_str();
+      switch (s.state) {
+        case SessionState::kWaiting:
+          std::printf(" %-8s   wait |", name);
+          break;
+        case SessionState::kDone:
+          std::printf(" %-8s   done |", name);
+          break;
+        case SessionState::kRunning:
+          std::printf(" %-8s %5.1f%% |", name, 100 * s.progress);
+          break;
       }
-      if (local >= r.result.duration_ms) {
-        std::printf(" %-8s   done |", r.query->name.c_str());
-        continue;
-      }
-      const ProfileSnapshot* snap = SnapshotAt(r.result.trace, local);
-      double progress =
-          snap == nullptr
-              ? 0.0
-              : checkers[qi].EstimateChecked(*snap).query_progress;
-      std::printf(" %-8s %5.1f%% |", r.query->name.c_str(), 100 * progress);
     }
     std::printf("\n");
-  }
+  });
   std::printf("\nEach column is one LQS window (§2.1); estimates come from "
               "per-query DMV polls.\n");
-  int violations = 0;
-  for (size_t qi = 0; qi < running.size(); ++qi) {
-    checkers[qi].CheckFinal(running[qi].result.trace.final_snapshot);
-    if (!checkers[qi].report().ok()) {
-      std::fprintf(stderr, "%s: %s", running[qi].query->name.c_str(),
-                   checkers[qi].report().ToString().c_str());
-      violations++;
-    }
+
+  MonitorStats stats = monitor.stats();
+  std::printf("sessions=%zu ticks=%llu reports=%llu estimators_cached=%zu\n",
+              stats.sessions, static_cast<unsigned long long>(stats.ticks),
+              static_cast<unsigned long long>(stats.reports_computed),
+              stats.estimators_cached);
+
+  ValidationReport final_report = monitor.FinalCheck();
+  if (!final_report.ok()) {
+    std::fprintf(stderr, "%s", final_report.ToString().c_str());
+    return 1;
   }
-  return violations == 0 ? 0 : 1;
+  return 0;
 }

@@ -13,10 +13,10 @@
 #   2. No naked assert() in src/ outside the validator layer and the
 #      documented primitive allowlist — invariants belong in Status-returning
 #      checks (src/analysis/) that stay loud in Release builds.
-#   3. No floating-point ==/!= comparisons in estimator/analysis code
-#      (src/lqs/, src/analysis/): progress arithmetic must compare against
-#      tolerances. Suppress a deliberate exact comparison with
-#      `// lint:allow-float-eq` on the same line.
+#   3. No floating-point ==/!= comparisons in estimator/analysis/monitor
+#      code (src/lqs/, src/analysis/, src/monitor/): progress arithmetic
+#      must compare against tolerances. Suppress a deliberate exact
+#      comparison with `// lint:allow-float-eq` on the same line.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -60,7 +60,7 @@ while IFS=: read -r file line text; do
     *'lint:allow-float-eq'*) continue ;;
   esac
   fail "$file:$line: floating-point ==/!= in estimator code — compare against a tolerance"
-done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis --include='*.cc' --include='*.h')
+done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis src/monitor --include='*.cc' --include='*.h')
 
 # ---- 4. clang-format (when installed) -------------------------------------
 if command -v clang-format >/dev/null 2>&1; then

@@ -18,13 +18,23 @@ class Profiler {
   Profiler(const std::vector<OperatorProfile>* live, double interval_ms)
       : live_(live), interval_ms_(interval_ms) {}
 
-  /// Takes a snapshot if at least interval_ms has elapsed since the last one.
+  /// Takes a snapshot if at least interval_ms has elapsed since the last
+  /// one. The very first call always snapshots: a query shorter than one
+  /// polling interval would otherwise finish with an empty trace, and
+  /// monitors would report 0% until completion. That initial sample does
+  /// not shift the grid — later polls stay on multiples of interval_ms.
   void MaybePoll(double now_ms) {
-    if (now_ms - last_poll_ms_ < interval_ms_) return;
-    // A long operator stall may span several polling intervals; emit the
-    // snapshot once but advance the phase so polls stay on the grid.
-    while (now_ms - last_poll_ms_ >= interval_ms_) last_poll_ms_ += interval_ms_;
-    trace_.snapshots.push_back(ProfileSnapshot{now_ms, *live_});
+    bool take = !polled_once_;
+    polled_once_ = true;
+    if (now_ms - last_poll_ms_ >= interval_ms_) {
+      // A long operator stall may span several polling intervals; emit the
+      // snapshot once but advance the phase so polls stay on the grid.
+      while (now_ms - last_poll_ms_ >= interval_ms_) {
+        last_poll_ms_ += interval_ms_;
+      }
+      take = true;
+    }
+    if (take) trace_.snapshots.push_back(ProfileSnapshot{now_ms, *live_});
   }
 
   void Finalize(double end_ms) {
@@ -38,6 +48,7 @@ class Profiler {
   const std::vector<OperatorProfile>* live_;
   double interval_ms_;
   double last_poll_ms_ = 0;
+  bool polled_once_ = false;
   ProfileTrace trace_;
 };
 

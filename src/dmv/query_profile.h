@@ -1,6 +1,7 @@
 #ifndef LQS_DMV_QUERY_PROFILE_H_
 #define LQS_DMV_QUERY_PROFILE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -84,6 +85,18 @@ struct ProfileTrace {
   /// True output cardinality of node i at completion (N_i^true).
   uint64_t TrueCardinality(int node_id) const {
     return final_snapshot.operators[node_id].row_count;
+  }
+
+  /// Latest snapshot with time_ms <= t, or nullptr when the trace has none
+  /// that early. Snapshots are recorded in non-decreasing time order, so
+  /// this is a binary search — monitors replaying a trace against a shared
+  /// timeline call it once per tick and must not rescan linearly.
+  const ProfileSnapshot* SnapshotAtOrBefore(double t) const {
+    auto it = std::upper_bound(
+        snapshots.begin(), snapshots.end(), t,
+        [](double lhs, const ProfileSnapshot& s) { return lhs < s.time_ms; });
+    if (it == snapshots.begin()) return nullptr;
+    return &*std::prev(it);
   }
 };
 

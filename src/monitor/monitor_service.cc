@@ -1,0 +1,203 @@
+#include "monitor/monitor_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace lqs {
+
+MonitorService::MonitorService(MonitorOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+MonitorService::~MonitorService() = default;
+
+uint64_t MonitorService::PackOptions(const EstimatorOptions& o) {
+  uint64_t bits = 0;
+  int shift = 0;
+  for (bool flag :
+       {o.use_driver_nodes, o.refine_cardinality, o.bound_cardinality,
+        o.semi_blocking_adjust, o.two_phase_blocking, o.use_weights,
+        o.critical_path_only, o.storage_predicate_io, o.batch_mode_segments,
+        o.interpolate_refinement, o.propagate_refinement}) {
+    if (flag) bits |= uint64_t{1} << shift;
+    ++shift;
+  }
+  return bits | (o.refine_min_rows << 16);
+}
+
+const ProgressEstimator* MonitorService::CachedEstimator(
+    const Plan* plan, const Catalog* catalog,
+    const EstimatorOptions& options) {
+  const EstimatorKey key{plan, catalog, PackOptions(options)};
+  auto it = estimator_cache_.find(key);
+  if (it == estimator_cache_.end()) {
+    it = estimator_cache_
+             .emplace(key, std::make_unique<ProgressEstimator>(plan, catalog,
+                                                               options))
+             .first;
+  }
+  return it->second.get();
+}
+
+int MonitorService::RegisterSession(std::string name, const Plan* plan,
+                                    const Catalog* catalog,
+                                    const ProfileTrace* trace,
+                                    double start_offset_ms,
+                                    const EstimatorOptions& estimator_options) {
+  const ProgressEstimator* estimator =
+      CachedEstimator(plan, catalog, estimator_options);
+  Session session{std::move(name), plan,      catalog, trace,
+                  start_offset_ms, estimator, nullptr};
+  if (options_.check_invariants) {
+    session.checker = std::make_unique<ProgressInvariantChecker>(
+        estimator, options_.checker_options);
+  }
+  sessions_.push_back(std::move(session));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+double MonitorService::HorizonMs() const {
+  double horizon = 0;
+  for (const Session& s : sessions_) {
+    horizon =
+        std::max(horizon, s.start_offset_ms + s.trace->total_elapsed_ms);
+  }
+  return horizon;
+}
+
+void MonitorService::ComputeStatus(size_t index, double now_ms,
+                                   SessionStatus* out, double* latency_ms) {
+  Session& session = sessions_[index];
+  out->session_id = static_cast<int>(index);
+  out->local_time_ms = now_ms - session.start_offset_ms;
+  *latency_ms = -1;
+  if (out->local_time_ms < 0) {
+    out->state = SessionState::kWaiting;
+    out->progress = 0;
+    return;
+  }
+  if (out->local_time_ms >= session.trace->total_elapsed_ms) {
+    out->state = SessionState::kDone;
+    out->snapshot = &session.trace->final_snapshot;
+    out->progress = 1.0;
+    return;
+  }
+  out->state = SessionState::kRunning;
+  out->snapshot = session.trace->SnapshotAtOrBefore(out->local_time_ms);
+  if (out->snapshot == nullptr) {
+    // Unreachable for executor-produced traces (the profiler snapshots on
+    // its first poll), but hand-built traces may have no sample this early.
+    out->progress = 0;
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  out->report = session.checker != nullptr
+                    ? session.checker->EstimateChecked(*out->snapshot)
+                    : session.estimator->Estimate(*out->snapshot);
+  *latency_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out->progress = out->report.query_progress;
+}
+
+std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
+  std::vector<SessionStatus> statuses(sessions_.size());
+  std::vector<double> latencies(sessions_.size(), -1);
+  const auto tick_start = std::chrono::steady_clock::now();
+  pool_.ParallelFor(sessions_.size(), [&](size_t i) {
+    ComputeStatus(i, now_ms, &statuses[i], &latencies[i]);
+  });
+  const double tick_wall_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - tick_start)
+                                  .count();
+  wall_ms_ += tick_wall_ms;
+  tick_latencies_ms_.push_back(tick_wall_ms);
+  ++ticks_;
+  last_active_ = last_waiting_ = last_done_ = 0;
+  for (const SessionStatus& s : statuses) {
+    switch (s.state) {
+      case SessionState::kWaiting: ++last_waiting_; break;
+      case SessionState::kRunning: ++last_active_; break;
+      case SessionState::kDone: ++last_done_; break;
+    }
+  }
+  for (double latency : latencies) {
+    if (latency >= 0) {
+      ++reports_computed_;
+      estimate_latencies_ms_.push_back(latency);
+    }
+  }
+  return statuses;
+}
+
+void MonitorService::RunToCompletion(
+    const std::function<void(double, const std::vector<SessionStatus>&)>&
+        render) {
+  const double horizon = HorizonMs();
+  const double tick = options_.tick_ms > 0
+                          ? options_.tick_ms
+                          : horizon / std::max(1, options_.ticks_per_horizon);
+  if (tick <= 0) {
+    // Degenerate horizon: every session is empty. One t=0 tick still
+    // reports their kDone states; looping `t += 0` would never terminate
+    // (the bug the old multi_query_monitor example had).
+    if (!sessions_.empty()) {
+      auto statuses = Tick(0);
+      if (render) render(0, statuses);
+    }
+    return;
+  }
+  for (double t = tick; t <= horizon + 1e-9; t += tick) {
+    auto statuses = Tick(t);
+    if (render) render(t, statuses);
+  }
+}
+
+ValidationReport MonitorService::FinalCheck() {
+  ValidationReport merged;
+  for (Session& session : sessions_) {
+    if (session.checker == nullptr) continue;
+    session.checker->CheckFinal(session.trace->final_snapshot);
+    for (const ValidationIssue& issue : session.checker->report().issues()) {
+      merged.Add(issue.check, issue.node_id, issue.pipeline_id,
+                 session.name + ": " + issue.detail);
+    }
+  }
+  return merged;
+}
+
+MonitorStats MonitorService::stats() const {
+  MonitorStats stats;
+  stats.sessions = sessions_.size();
+  stats.active = last_active_;
+  stats.waiting = last_waiting_;
+  stats.done = last_done_;
+  stats.ticks = ticks_;
+  stats.reports_computed = reports_computed_;
+  stats.estimators_cached = estimator_cache_.size();
+  stats.num_threads = pool_.num_threads();
+  stats.wall_ms = wall_ms_;
+  if (wall_ms_ > 0) {
+    stats.reports_per_sec =
+        static_cast<double>(reports_computed_) / (wall_ms_ / 1000.0);
+  }
+  auto percentiles = [](std::vector<double> values, double* p50, double* p95) {
+    if (values.empty()) return;
+    std::sort(values.begin(), values.end());
+    auto at = [&values](double p) {
+      const size_t rank = std::min(
+          values.size() - 1,
+          static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+      return values[rank];
+    };
+    *p50 = at(0.50);
+    *p95 = at(0.95);
+  };
+  percentiles(estimate_latencies_ms_, &stats.p50_estimate_latency_ms,
+              &stats.p95_estimate_latency_ms);
+  percentiles(tick_latencies_ms_, &stats.p50_tick_latency_ms,
+              &stats.p95_tick_latency_ms);
+  return stats;
+}
+
+}  // namespace lqs

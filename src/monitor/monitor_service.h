@@ -1,0 +1,196 @@
+#ifndef LQS_MONITOR_MONITOR_SERVICE_H_
+#define LQS_MONITOR_MONITOR_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/invariant_checker.h"
+#include "analysis/validator.h"
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "lqs/estimator.h"
+#include "monitor/thread_pool.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// Knobs of the multi-query monitor.
+struct MonitorOptions {
+  /// Worker threads computing per-session reports; <= 0 picks a hardware
+  /// default. Output is identical for every value — see the determinism
+  /// contract on MonitorService.
+  int num_threads = 0;
+  /// Ticks RunToCompletion spreads over the horizon when tick_ms is 0.
+  int ticks_per_horizon = 12;
+  /// Explicit tick spacing in virtual ms; 0 derives it from the horizon.
+  double tick_ms = 0;
+  /// Wrap every session in a ProgressInvariantChecker (the always-on <5%
+  /// overhead configuration, DESIGN.md §7); violations surface in
+  /// FinalCheck().
+  bool check_invariants = true;
+  InvariantCheckerOptions checker_options;
+};
+
+enum class SessionState {
+  kWaiting,  ///< shared timeline has not reached the session's arrival yet
+  kRunning,
+  kDone,
+};
+
+/// What the monitor knows about one session at one tick — the row a
+/// dashboard renders under that query's window (§2.1).
+struct SessionStatus {
+  int session_id = -1;
+  SessionState state = SessionState::kWaiting;
+  /// Tick time on the session's own clock (now - start offset; negative
+  /// while waiting).
+  double local_time_ms = 0;
+  /// The DMV poll the estimate was computed from (null while waiting, the
+  /// final snapshot once done).
+  const ProfileSnapshot* snapshot = nullptr;
+  /// Full estimator output; meaningful while kRunning.
+  ProgressReport report;
+  /// [0, 1]; 0 while waiting, 1 once done, report.query_progress otherwise.
+  double progress = 0;
+};
+
+/// Aggregate counters across the life of one MonitorService.
+struct MonitorStats {
+  size_t sessions = 0;
+  /// Session states as of the most recent tick.
+  size_t active = 0;
+  size_t waiting = 0;
+  size_t done = 0;
+  uint64_t ticks = 0;
+  /// Progress reports computed (one per active session per tick).
+  uint64_t reports_computed = 0;
+  /// Distinct (plan, catalog, options) estimators built — the cache keeps
+  /// this below the session count when sessions share a plan.
+  size_t estimators_cached = 0;
+  int num_threads = 0;
+  /// Wall-clock percentiles of one Estimate() (+ invariant checks) call.
+  double p50_estimate_latency_ms = 0;
+  double p95_estimate_latency_ms = 0;
+  /// Wall-clock percentiles of one whole Tick() (all sessions, fan-out +
+  /// barrier).
+  double p50_tick_latency_ms = 0;
+  double p95_tick_latency_ms = 0;
+  /// Wall-clock time spent inside Tick() and the resulting throughput.
+  double wall_ms = 0;
+  double reports_per_sec = 0;
+};
+
+/// Owns many concurrently-monitored query sessions and replays their DMV
+/// traces against one shared virtual timeline — the reproduction of the LQS
+/// front-end tracking "multiple, concurrently executing queries, each of
+/// them being given their own dedicated window" (§2.1).
+///
+/// Each registered session pairs an executed query's trace with a start
+/// offset on the shared timeline. Tick(t) computes a ProgressReport for
+/// every session active at time t on a worker pool, one estimator call per
+/// session; estimators are cached per distinct (plan, catalog, options) and
+/// shared across sessions (ProgressEstimator::Estimate is const and
+/// stateless, so concurrent use is safe), while the per-session
+/// ProgressInvariantChecker state stays private to its session.
+///
+/// Determinism contract: results depend only on the registered sessions and
+/// the tick times, never on options.num_threads or scheduling. Work is
+/// computed in parallel into per-session slots and returned in session
+/// registration order, so rendering the returned statuses produces
+/// byte-identical output for 1 thread and N threads (bench/monitor_scale.cc
+/// verifies this on every run).
+///
+/// Not thread-safe itself: register and tick from one driver thread.
+class MonitorService {
+ public:
+  explicit MonitorService(MonitorOptions options = {});
+  ~MonitorService();
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  /// Registers one monitored session and returns its id (dense, starting
+  /// at 0). `plan`, `catalog` and `trace` must outlive the service.
+  int RegisterSession(std::string name, const Plan* plan,
+                      const Catalog* catalog, const ProfileTrace* trace,
+                      double start_offset_ms,
+                      const EstimatorOptions& estimator_options =
+                          EstimatorOptions::Lqs());
+
+  size_t session_count() const { return sessions_.size(); }
+  const std::string& session_name(int session_id) const {
+    return sessions_[static_cast<size_t>(session_id)].name;
+  }
+
+  /// Virtual time at which the last session finishes (0 when no session
+  /// does any work).
+  double HorizonMs() const;
+
+  /// Advances the shared timeline to `now_ms` and computes every session's
+  /// status. Call with non-decreasing times — the invariant checkers
+  /// require in-order replay. Returned statuses are indexed by session id.
+  std::vector<SessionStatus> Tick(double now_ms);
+
+  /// Runs the whole timeline: ticks from the first tick mark through the
+  /// horizon, invoking `render` (may be empty) after each tick. A
+  /// degenerate horizon of zero virtual ms — every session empty — renders
+  /// a single t=0 tick instead of looping forever on a zero tick width.
+  void RunToCompletion(
+      const std::function<void(double now_ms,
+                               const std::vector<SessionStatus>&)>& render);
+
+  /// End-of-timeline invariant verdict: every violation accumulated during
+  /// ticking plus each session's CheckFinal against its final snapshot.
+  /// With check_invariants off, returns an empty (ok) report.
+  ValidationReport FinalCheck();
+
+  /// Aggregate counters; percentiles/throughput are recomputed on call.
+  MonitorStats stats() const;
+
+ private:
+  struct Session {
+    std::string name;
+    const Plan* plan;
+    const Catalog* catalog;
+    const ProfileTrace* trace;
+    double start_offset_ms;
+    const ProgressEstimator* estimator;  // owned by estimator_cache_
+    std::unique_ptr<ProgressInvariantChecker> checker;  // null if unchecked
+  };
+
+  /// Cache key: estimator identity is the plan + catalog + the full option
+  /// set, packed to an integer (all fields are flags plus one threshold).
+  using EstimatorKey = std::tuple<const Plan*, const Catalog*, uint64_t>;
+  static uint64_t PackOptions(const EstimatorOptions& options);
+  const ProgressEstimator* CachedEstimator(const Plan* plan,
+                                           const Catalog* catalog,
+                                           const EstimatorOptions& options);
+
+  /// Computes one session's status at `now_ms` (runs on a pool worker).
+  void ComputeStatus(size_t index, double now_ms, SessionStatus* out,
+                     double* latency_ms);
+
+  MonitorOptions options_;
+  ThreadPool pool_;
+  std::vector<Session> sessions_;
+  std::map<EstimatorKey, std::unique_ptr<ProgressEstimator>> estimator_cache_;
+
+  // Counters behind stats(); mutated by the driver thread only.
+  uint64_t ticks_ = 0;
+  uint64_t reports_computed_ = 0;
+  size_t last_active_ = 0;
+  size_t last_waiting_ = 0;
+  size_t last_done_ = 0;
+  double wall_ms_ = 0;
+  std::vector<double> estimate_latencies_ms_;
+  std::vector<double> tick_latencies_ms_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_MONITOR_MONITOR_SERVICE_H_

@@ -1,0 +1,74 @@
+#ifndef LQS_MONITOR_THREAD_POOL_H_
+#define LQS_MONITOR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lqs {
+
+/// A fixed pool of worker threads executing index-parallel jobs, sized for
+/// the monitor's per-tick fan-out (one progress estimate per active
+/// session). Workers persist across jobs; ParallelFor hands out indices via
+/// an atomic counter so the assignment of index -> thread is dynamic, which
+/// is why MonitorService writes results into per-index slots and renders
+/// them in index order — output stays deterministic for any thread count.
+///
+/// With num_threads <= 1 no threads are spawned and jobs run inline on the
+/// caller; that is the reference serial schedule the parallel runs must
+/// match byte-for-byte.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks a hardware-based default (capped — see .cc).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the
+  /// workers, and blocks until all n calls have returned. The caller thread
+  /// participates, so the pool makes progress even under a 1-core cgroup.
+  /// Not reentrant: one ParallelFor at a time.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Worker count including the caller thread (>= 1).
+  int num_threads() const { return num_threads_; }
+
+ private:
+  /// One ParallelFor invocation. Lives on the caller's stack; workers hold
+  /// a pointer only between Attach/Detach (both under mu_), and ParallelFor
+  /// returns only once every attached worker has detached, so the pointer
+  /// never outlives the job.
+  struct Job {
+    const std::function<void(size_t)>* fn;
+    size_t size;
+    std::atomic<size_t> next{0};
+    size_t done = 0;      // guarded by mu_
+    int attached = 0;     // guarded by mu_
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indices of `job` until exhausted; returns the number
+  /// of indices this thread completed.
+  static size_t Drain(Job* job);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  uint64_t job_generation_ = 0;  // guarded by mu_
+  bool shutdown_ = false;        // guarded by mu_
+  Job* current_job_ = nullptr;   // guarded by mu_
+};
+
+}  // namespace lqs
+
+#endif  // LQS_MONITOR_THREAD_POOL_H_

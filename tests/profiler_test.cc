@@ -1,0 +1,168 @@
+// Snapshot-grid semantics of the DMV profiler and of trace lookups:
+//  - the first poll always snapshots, so a query shorter than one polling
+//    interval still produces a non-empty trace (the t=0 regression that made
+//    monitors report 0% until completion);
+//  - a stall spanning several intervals emits exactly one snapshot with the
+//    polling phase advanced to stay on the grid;
+//  - Finalize fills final_snapshot without duplicating a snapshot already
+//    taken at end_ms into the snapshot list;
+//  - ProfileTrace::SnapshotAtOrBefore matches a linear rescan;
+//  - Estimate replay is order-independent, as estimator.h promises.
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "dmv/profiler.h"
+#include "dmv/query_profile.h"
+#include "lqs/estimator.h"
+#include "optimizer/annotate.h"
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = MakeTestCatalog();
+    live_.resize(1);
+    live_[0].node_id = 0;
+  }
+
+  Plan Annotated(std::unique_ptr<PlanNode> root) {
+    Plan plan = MustFinalize(std::move(root), *catalog_);
+    EXPECT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+    return plan;
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+  std::vector<OperatorProfile> live_;
+};
+
+TEST_F(ProfilerTest, FirstPollSnapshotsBeforeTheIntervalElapses) {
+  Profiler profiler(&live_, /*interval_ms=*/500.0);
+  profiler.MaybePoll(0.25);  // far inside the first interval
+  ProfileTrace trace = profiler.TakeTrace();
+  ASSERT_EQ(trace.snapshots.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.snapshots[0].time_ms, 0.25);
+}
+
+TEST_F(ProfilerTest, ShortQueryStillProducesSnapshots) {
+  // Regression: with a polling interval longer than the whole query, the
+  // old profiler returned an empty snapshot list and monitors reported 0%
+  // until completion.
+  Plan plan = Annotated(Scan("t_small"));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 1e9;  // one poll interval outlives the query
+  ExecutionResult result = MustExecute(plan, catalog_.get(), exec);
+  ASSERT_LT(result.duration_ms, exec.snapshot_interval_ms);
+  ASSERT_FALSE(result.trace.snapshots.empty());
+  // The early sample is usable: a monitor polling mid-query finds it.
+  const ProfileSnapshot* snap =
+      result.trace.SnapshotAtOrBefore(result.duration_ms / 2);
+  ASSERT_NE(snap, nullptr);
+}
+
+TEST_F(ProfilerTest, StallSpanningIntervalsEmitsOneSnapshotAndKeepsGrid) {
+  Profiler profiler(&live_, /*interval_ms=*/10.0);
+  profiler.MaybePoll(1.0);   // initial sample
+  profiler.MaybePoll(47.0);  // a stall spanning 4 full intervals
+  // Exactly one snapshot for the whole stall, not one per interval, and the
+  // phase advanced to the last grid point <= 47 (i.e. 40): a poll at 49 is
+  // still inside the current interval and must not snapshot...
+  profiler.MaybePoll(49.0);
+  // ...while a poll at 50 lands on the next grid point and must.
+  profiler.MaybePoll(50.0);
+  ProfileTrace trace = profiler.TakeTrace();
+  ASSERT_EQ(trace.snapshots.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.snapshots[0].time_ms, 1.0);
+  EXPECT_DOUBLE_EQ(trace.snapshots[1].time_ms, 47.0);
+  EXPECT_DOUBLE_EQ(trace.snapshots[2].time_ms, 50.0);
+}
+
+TEST_F(ProfilerTest, FinalizeDoesNotDuplicateSnapshotTakenAtEnd) {
+  Profiler profiler(&live_, /*interval_ms=*/10.0);
+  profiler.MaybePoll(2.0);
+  profiler.MaybePoll(20.0);  // on the grid: snapshots
+  profiler.Finalize(20.0);   // completion at the same instant
+  ProfileTrace trace = profiler.TakeTrace();
+  ASSERT_EQ(trace.snapshots.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.final_snapshot.time_ms, 20.0);
+  EXPECT_DOUBLE_EQ(trace.total_elapsed_ms, 20.0);
+  // Snapshot times stay strictly increasing — no duplicated instants.
+  for (size_t i = 1; i < trace.snapshots.size(); ++i) {
+    EXPECT_LT(trace.snapshots[i - 1].time_ms, trace.snapshots[i].time_ms);
+  }
+}
+
+TEST_F(ProfilerTest, SnapshotAtOrBeforeMatchesLinearRescan) {
+  Plan plan = Annotated(
+      HashAgg(HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0},
+                       {1}),
+              {2}, {Count()}));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  ExecutionResult result = MustExecute(plan, catalog_.get(), exec);
+  const ProfileTrace& trace = result.trace;
+  ASSERT_GT(trace.snapshots.size(), 5u);
+
+  auto linear = [&trace](double t) -> const ProfileSnapshot* {
+    const ProfileSnapshot* best = nullptr;
+    for (const auto& snap : trace.snapshots) {
+      if (snap.time_ms <= t) best = &snap;
+      else break;
+    }
+    return best;
+  };
+  // Probe before, on, between and after every snapshot time.
+  std::vector<double> probes = {-1.0, 0.0, result.duration_ms,
+                                result.duration_ms * 2};
+  for (const auto& snap : trace.snapshots) {
+    probes.push_back(snap.time_ms);
+    probes.push_back(snap.time_ms - 1e-9);
+    probes.push_back(snap.time_ms + 1e-9);
+  }
+  for (double t : probes) {
+    EXPECT_EQ(trace.SnapshotAtOrBefore(t), linear(t)) << "t=" << t;
+  }
+
+  ProfileTrace empty;
+  EXPECT_EQ(empty.SnapshotAtOrBefore(0.0), nullptr);
+  EXPECT_EQ(empty.SnapshotAtOrBefore(1e9), nullptr);
+}
+
+TEST_F(ProfilerTest, EstimateReplayIsOrderIndependent) {
+  Plan plan = Annotated(Sort(Scan("t_big"), {2}));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  ExecutionResult result = MustExecute(plan, catalog_.get(), exec);
+  ASSERT_GT(result.trace.snapshots.size(), 3u);
+  ProgressEstimator est(&plan, catalog_.get(), EstimatorOptions::Lqs());
+
+  std::vector<ProgressReport> forward;
+  forward.reserve(result.trace.snapshots.size());
+  for (const auto& snap : result.trace.snapshots) {
+    forward.push_back(est.Estimate(snap));
+  }
+  for (size_t i = result.trace.snapshots.size(); i-- > 0;) {
+    ProgressReport replayed = est.Estimate(result.trace.snapshots[i]);
+    EXPECT_DOUBLE_EQ(replayed.query_progress, forward[i].query_progress);
+    ASSERT_EQ(replayed.operator_progress.size(),
+              forward[i].operator_progress.size());
+    for (size_t n = 0; n < replayed.operator_progress.size(); ++n) {
+      EXPECT_DOUBLE_EQ(replayed.operator_progress[n],
+                       forward[i].operator_progress[n]);
+      EXPECT_DOUBLE_EQ(replayed.refined_rows[n], forward[i].refined_rows[n]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

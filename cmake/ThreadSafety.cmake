@@ -1,0 +1,28 @@
+# Compile-time lock-discipline proof (DESIGN.md §9).
+#
+# Usage:
+#   cmake -B build-annot -S . -DCMAKE_CXX_COMPILER=clang++ \
+#         -DLQS_THREAD_SAFETY=ON
+#
+# Turns on clang's thread-safety analysis over the whole tree and promotes
+# every finding to an error, so a GUARDED_BY field touched without its
+# mutex, a REQUIRES method called unlocked, or a leaked MutexLock fails the
+# build. The analysis only understands the annotated primitives in
+# src/common/mutex.h (std::mutex cannot carry capability attributes), which
+# is why scripts/lint.sh bans raw std mutexes in src/.
+#
+# The `thread-safety` diagnostic group alone is promoted to -Werror rather
+# than the whole build: the gate must fail on lock-discipline violations,
+# not on unrelated warnings a newer clang may add.
+
+function(lqs_enable_thread_safety)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+            "LQS_THREAD_SAFETY requires clang (-Wthread-safety is a clang "
+            "analysis); got ${CMAKE_CXX_COMPILER_ID}. Reconfigure with "
+            "-DCMAKE_CXX_COMPILER=clang++ or drop -DLQS_THREAD_SAFETY=ON.")
+  endif()
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+  message(STATUS "LQS thread-safety analysis enabled "
+                 "(-Wthread-safety -Werror=thread-safety)")
+endfunction()

@@ -17,6 +17,12 @@
 #      code (src/lqs/, src/analysis/, src/monitor/): progress arithmetic
 #      must compare against tolerances. Suppress a deliberate exact
 #      comparison with `// lint:allow-float-eq` on the same line.
+#   4. No raw std mutex/lock/condvar types in src/ outside the annotated
+#      primitive layer (src/common/mutex.{h,cc}): std::mutex cannot carry
+#      Clang capability attributes, so raw uses are invisible to the
+#      -Wthread-safety gate and skip the lqs::Mutex lock-rank checker
+#      (DESIGN.md §9). Suppress a deliberate use with
+#      `// lint:allow-raw-mutex` on the same line.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -62,7 +68,24 @@ while IFS=: read -r file line text; do
   fail "$file:$line: floating-point ==/!= in estimator code — compare against a tolerance"
 done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis src/monitor --include='*.cc' --include='*.h')
 
-# ---- 4. clang-format (when installed) -------------------------------------
+# ---- 4. Raw std mutex primitives in src/ ----------------------------------
+# The annotated wrappers in src/common/mutex.h are the only place the std
+# primitives may appear; everything else must use lqs::Mutex / lqs::MutexLock
+# / lqs::CondVar so the clang thread-safety analysis and the lock-rank
+# checker see every critical section.
+raw_mutex_pattern='std::(recursive_mutex|recursive_timed_mutex|timed_mutex|shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)'
+raw_mutex_allowlist='^src/common/mutex\.(h|cc)$'
+while IFS=: read -r file line text; do
+  if echo "$file" | grep -Eq "$raw_mutex_allowlist"; then
+    continue
+  fi
+  case "$text" in
+    *'lint:allow-raw-mutex'*) continue ;;
+  esac
+  fail "$file:$line: raw std mutex primitive in src/ — use lqs::Mutex/MutexLock/CondVar from common/mutex.h (or suppress with // lint:allow-raw-mutex)"
+done < <(grep -rnE "$raw_mutex_pattern" src --include='*.cc' --include='*.h')
+
+# ---- 5. clang-format (when installed) -------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
   fmt_out=$(find src tests bench examples \
               \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -type f \

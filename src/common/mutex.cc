@@ -1,0 +1,129 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+namespace lqs {
+
+namespace {
+
+// Rank checking is compiled in unconditionally and gated at runtime, so
+// tests can force it on under any build type (the death tests in
+// tests/mutex_test.cc must run in the RelWithDebInfo tier-1 build too). The
+// release-mode cost when disabled is one relaxed atomic load per Lock().
+constexpr bool kRankCheckDefault =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
+
+std::atomic<bool> g_rank_check_enabled{kRankCheckDefault};
+
+// The calling thread's currently-held lqs::Mutex stack, oldest first.
+// Strictly increasing ranks within this stack is the invariant.
+std::vector<const Mutex*>& HeldStack() {
+  thread_local std::vector<const Mutex*> stack;
+  return stack;
+}
+
+[[noreturn]] void AbortWithHeldStack(const char* problem, const Mutex& mu,
+                                     const std::vector<const Mutex*>& held) {
+  std::fprintf(stderr,
+               "lqs::Mutex %s: acquiring \"%s\" (rank %d) while holding "
+               "\"%s\" (rank %d); acquisition order must be strictly "
+               "increasing by rank. Held locks, oldest first:\n",
+               problem, mu.name(), mu.rank(), held.back()->name(),
+               held.back()->rank());
+  for (const Mutex* h : held) {
+    std::fprintf(stderr, "  \"%s\" (rank %d)\n", h->name(), h->rank());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void Mutex::SetRankCheckEnabled(bool enabled) {
+  g_rank_check_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Mutex::RankCheckEnabled() {
+  return g_rank_check_enabled.load(std::memory_order_relaxed);
+}
+
+void Mutex::PushHeld() const {
+  if (!RankCheckEnabled()) return;
+  std::vector<const Mutex*>& held = HeldStack();
+  for (const Mutex* h : held) {
+    if (h == this) AbortWithHeldStack("recursive acquisition", *this, held);
+  }
+  if (!held.empty() && held.back()->rank_ >= rank_) {
+    AbortWithHeldStack("lock-rank violation", *this, held);
+  }
+  held.push_back(this);
+}
+
+void Mutex::PopHeld() const {
+  if (!RankCheckEnabled()) return;
+  std::vector<const Mutex*>& held = HeldStack();
+  // Search from the innermost end; a miss just means the check was enabled
+  // after this lock was taken, which is not an error.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == this) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void Mutex::Lock() LQS_NO_THREAD_SAFETY_ANALYSIS {
+  // Validate-then-block: a rank inversion aborts with a diagnostic *before*
+  // this thread can park on a lock another thread may never release.
+  PushHeld();
+  impl_.lock();
+}
+
+void Mutex::Unlock() LQS_NO_THREAD_SAFETY_ANALYSIS {
+  PopHeld();
+  impl_.unlock();
+}
+
+bool Mutex::TryLock() LQS_NO_THREAD_SAFETY_ANALYSIS {
+  if (!impl_.try_lock()) return false;
+  PushHeld();
+  return true;
+}
+
+void Mutex::AssertHeld() const LQS_NO_THREAD_SAFETY_ANALYSIS {
+  if (!RankCheckEnabled()) return;
+  const std::vector<const Mutex*>& held = HeldStack();
+  for (const Mutex* h : held) {
+    if (h == this) return;
+  }
+  std::fprintf(stderr,
+               "lqs::Mutex AssertHeld failed: \"%s\" (rank %d) is not held "
+               "by this thread\n",
+               name_, rank_);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void CondVar::Wait(Mutex* mu) LQS_NO_THREAD_SAFETY_ANALYSIS {
+  // The wait releases and re-acquires mu's underlying lock inside
+  // std::condition_variable; mirror that in the rank bookkeeping so the
+  // held stack never lists a lock this thread is blocked on, and so the
+  // re-acquisition re-validates the rank order (waiting on a lock that was
+  // not the innermost held one is diagnosed here on wakeup).
+  mu->PopHeld();
+  std::unique_lock<std::mutex> lock(  // lint:allow-raw-mutex (primitive impl)
+      mu->impl_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mu->PushHeld();
+}
+
+}  // namespace lqs

@@ -1,0 +1,88 @@
+#ifndef LQS_COMMON_THREAD_ANNOTATIONS_H_
+#define LQS_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (DESIGN.md §9). Annotating a type
+// as a capability and its guarded fields/methods lets
+// `clang -Wthread-safety` prove lock discipline at compile time:
+// every access to a LQS_GUARDED_BY(mu) field must happen while `mu` is held,
+// every call to a LQS_REQUIRES(mu) method must come from a context that
+// holds `mu`, and a scoped locker (LQS_SCOPED_CAPABILITY) cannot leak its
+// lock. GCC has no equivalent analysis, so the macros expand to nothing
+// there; the annotations are zero-cost documentation on every compiler and
+// a hard error gate under `-DLQS_THREAD_SAFETY=ON` (cmake/ThreadSafety.cmake,
+// clang CI job).
+//
+// Use `lqs::Mutex` / `lqs::MutexLock` / `lqs::CondVar` (common/mutex.h)
+// rather than the raw std primitives, which cannot carry a capability
+// attribute and are therefore invisible to the analysis (scripts/lint.sh
+// bans them in src/ for that reason).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LQS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LQS_THREAD_ANNOTATION_(x)
+#endif
+#else
+#define LQS_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a capability (lockable). The string names the kind of
+/// capability in diagnostics, e.g. "mutex".
+#define LQS_CAPABILITY(x) LQS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define LQS_SCOPED_CAPABILITY LQS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding capability `x`.
+#define LQS_GUARDED_BY(x) LQS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`.
+#define LQS_PT_GUARDED_BY(x) LQS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and they
+/// remain held on exit).
+#define LQS_REQUIRES(...) \
+  LQS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define LQS_ACQUIRE(...) \
+  LQS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define LQS_RELEASE(...) \
+  LQS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value that signals success.
+#define LQS_TRY_ACQUIRE(...) \
+  LQS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function may only be called while the listed capabilities are NOT held
+/// (guards against self-deadlock on a non-reentrant mutex).
+#define LQS_EXCLUDES(...) LQS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (rather than acquires) that the capability is held —
+/// for runtime-checked helpers like Mutex::AssertHeld().
+#define LQS_ASSERT_CAPABILITY(x) \
+  LQS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define LQS_RETURN_CAPABILITY(x) LQS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Declares a static acquisition order between mutexes (documentation for
+/// the analysis; the runtime lock-rank checker in lqs::Mutex enforces the
+/// order on every debug-build acquisition).
+#define LQS_ACQUIRED_BEFORE(...) \
+  LQS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LQS_ACQUIRED_AFTER(...) \
+  LQS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Turns the analysis off for one function — reserved for the trusted
+/// primitive implementations in common/mutex.cc, which manipulate the
+/// wrapped std lock in ways the analysis cannot model.
+#define LQS_NO_THREAD_SAFETY_ANALYSIS \
+  LQS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LQS_COMMON_THREAD_ANNOTATIONS_H_

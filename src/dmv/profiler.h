@@ -11,6 +11,11 @@ namespace lqs {
 /// runs — the stand-in for SSMS polling sys.dm_exec_query_profiles every
 /// 500 ms (§2.2). The executor calls MaybePoll() after every virtual-clock
 /// advance; Finalize() records the completion snapshot.
+///
+/// Concurrency audit (DESIGN.md §9): thread-compatible, not thread-safe —
+/// one Profiler belongs to one executor thread, and the `live` counters it
+/// samples are that executor's own state. Concurrency only begins after
+/// TakeTrace(), at which point the trace is immutable (see ProfileTrace).
 class Profiler {
  public:
   /// `live` points at the executor-owned live counters (indexed by node id)

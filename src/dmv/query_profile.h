@@ -77,6 +77,13 @@ struct ProfileSnapshot {
 /// The full sequence of snapshots collected while a query ran, plus the
 /// final counters at completion. The final snapshot supplies the true N_i
 /// and true per-operator activity windows used by the §5 error metrics.
+///
+/// Concurrency audit (DESIGN.md §9): a trace is built single-threaded by
+/// the Profiler while the executor runs, then handed to monitors as an
+/// immutable value. MonitorService's pool workers read one trace
+/// concurrently through const methods only, so no lock (and no lqs::Mutex
+/// migration) is required here — do not add mutating members without
+/// revisiting that.
 struct ProfileTrace {
   std::vector<ProfileSnapshot> snapshots;
   ProfileSnapshot final_snapshot;

@@ -110,6 +110,10 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   const double tick_wall_ms = std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - tick_start)
                                   .count();
+  // Counter updates happen after the ParallelFor barrier, under stats_mu_
+  // only — the pool's lock is never held here, so the kMonitorStats <
+  // kThreadPool rank order is trivially respected.
+  MutexLock lock(&stats_mu_);
   wall_ms_ += tick_wall_ms;
   tick_latencies_ms_.push_back(tick_wall_ms);
   ++ticks_;
@@ -167,6 +171,7 @@ ValidationReport MonitorService::FinalCheck() {
 }
 
 MonitorStats MonitorService::stats() const {
+  MutexLock lock(&stats_mu_);
   MonitorStats stats;
   stats.sessions = sessions_.size();
   stats.active = last_active_;

@@ -11,6 +11,8 @@
 
 #include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
 #include "lqs/estimator.h"
@@ -105,7 +107,13 @@ struct MonitorStats {
 /// byte-identical output for 1 thread and N threads (bench/monitor_scale.cc
 /// verifies this on every run).
 ///
-/// Not thread-safe itself: register and tick from one driver thread.
+/// Threading: register and tick from one driver thread (sessions_ and the
+/// estimator cache are driver-only by design). The aggregate counters are
+/// the exception — they live behind stats_mu_
+/// (lock_rank::kMonitorStats), so stats() may be called from any thread
+/// while the driver ticks, the way a dashboard thread samples a live
+/// monitor. The discipline is compile-time checked via the annotations
+/// below (DESIGN.md §9).
 class MonitorService {
  public:
   explicit MonitorService(MonitorOptions options = {});
@@ -134,7 +142,7 @@ class MonitorService {
   /// Advances the shared timeline to `now_ms` and computes every session's
   /// status. Call with non-decreasing times — the invariant checkers
   /// require in-order replay. Returned statuses are indexed by session id.
-  std::vector<SessionStatus> Tick(double now_ms);
+  std::vector<SessionStatus> Tick(double now_ms) LQS_EXCLUDES(stats_mu_);
 
   /// Runs the whole timeline: ticks from the first tick mark through the
   /// horizon, invoking `render` (may be empty) after each tick. A
@@ -150,7 +158,8 @@ class MonitorService {
   ValidationReport FinalCheck();
 
   /// Aggregate counters; percentiles/throughput are recomputed on call.
-  MonitorStats stats() const;
+  /// Safe to call from any thread concurrently with the driver's Tick().
+  MonitorStats stats() const LQS_EXCLUDES(stats_mu_);
 
  private:
   struct Session {
@@ -180,15 +189,20 @@ class MonitorService {
   std::vector<Session> sessions_;
   std::map<EstimatorKey, std::unique_ptr<ProgressEstimator>> estimator_cache_;
 
-  // Counters behind stats(); mutated by the driver thread only.
-  uint64_t ticks_ = 0;
-  uint64_t reports_computed_ = 0;
-  size_t last_active_ = 0;
-  size_t last_waiting_ = 0;
-  size_t last_done_ = 0;
-  double wall_ms_ = 0;
-  std::vector<double> estimate_latencies_ms_;
-  std::vector<double> tick_latencies_ms_;
+  /// Guards the counters behind stats(). The driver updates them once per
+  /// tick after the ParallelFor barrier (never while holding the pool's
+  /// lock — kMonitorStats < kThreadPool keeps even that nesting legal);
+  /// any thread may read them through stats().
+  mutable Mutex stats_mu_{lock_rank::kMonitorStats,
+                          "MonitorService::stats_mu_"};
+  uint64_t ticks_ LQS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t reports_computed_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t last_active_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t last_waiting_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t last_done_ LQS_GUARDED_BY(stats_mu_) = 0;
+  double wall_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
+  std::vector<double> estimate_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
+  std::vector<double> tick_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace lqs

@@ -1,6 +1,8 @@
 #include "monitor/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lqs {
 
@@ -23,10 +25,21 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (current_job_ != nullptr) {
+      // Shutdown audit (DESIGN.md §9): a destructor racing an in-flight
+      // ParallelFor would free mu_ and the condvars under the feet of the
+      // caller blocked in the job barrier. That is a caller contract
+      // violation; fail loudly instead of corrupting the handoff.
+      std::fprintf(stderr,
+                   "lqs::ThreadPool: destroyed while a ParallelFor is still "
+                   "in flight\n");
+      std::fflush(stderr);
+      std::abort();
+    }
     shutdown_ = true;
   }
-  job_ready_.notify_all();
+  job_ready_.SignalAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -46,10 +59,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [&] {
-        return shutdown_ || job_generation_ != seen_generation;
-      });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && job_generation_ == seen_generation) {
+        job_ready_.Wait(&mu_);
+      }
       if (shutdown_) return;
       seen_generation = job_generation_;
       // The job may already be finished and retired by the time a slow
@@ -60,11 +73,11 @@ void ThreadPool::WorkerLoop() {
     }
     const size_t completed = Drain(job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       job->done += completed;
       job->attached--;
     }
-    job_done_.notify_all();
+    job_done_.SignalAll();
   }
 }
 
@@ -78,17 +91,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   job.fn = &fn;
   job.size = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     current_job_ = &job;
     ++job_generation_;
   }
-  job_ready_.notify_all();
+  job_ready_.SignalAll();
   const size_t completed = Drain(&job);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   job.done += completed;
   // Wait for the last index to finish AND every attached worker to let go
   // of the job pointer before `job` leaves scope.
-  job_done_.wait(lock, [&] { return job.done == n && job.attached == 0; });
+  while (!(job.done == n && job.attached == 0)) {
+    job_done_.Wait(&mu_);
+  }
   current_job_ = nullptr;
 }
 

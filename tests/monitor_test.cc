@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -245,6 +246,59 @@ TEST(ThreadPoolTest, DefaultThreadCountIsBoundedAndPositive) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1);
   EXPECT_LE(pool.num_threads(), 16);
+}
+
+// Shutdown regression (DESIGN.md §9 audit): destroying the pool immediately
+// after ParallelFor returns races the destructor's shutdown_ handshake
+// against workers that are still re-entering the wait (a slow waker can
+// observe the generation bump only after the job has been retired). Churn
+// that window repeatedly — exact-once index coverage and a clean join must
+// hold every time; TSan covers the memory orders in CI.
+TEST(ThreadPoolTest, ShutdownImmediatelyAfterQueuedJobsCompletes) {
+  constexpr size_t kN = 128;
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<std::atomic<int>> hits(kN);
+    {
+      ThreadPool pool(4);
+      pool.ParallelFor(kN, [&hits](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }  // destructor runs while workers may still be waking from the job
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownWithNoJobsEverQueuedIsClean) {
+  for (int iter = 0; iter < 10; ++iter) {
+    ThreadPool pool(4);  // construct + immediately destroy: pure handshake
+  }
+}
+
+// The other half of the audit: a destructor overlapping an in-flight
+// ParallelFor used to be silent use-after-free territory; it now aborts
+// with a diagnostic. The driver thread parks the job on a latch so the
+// destructor deterministically observes current_job_ != nullptr.
+TEST(ThreadPoolDeathTest, DestructionWithJobInFlightAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::atomic<bool> started{false};
+        std::atomic<bool> release{false};
+        auto* pool = new ThreadPool(2);
+        std::thread driver([&] {
+          pool->ParallelFor(8, [&](size_t) {
+            started.store(true);
+            while (!release.load()) std::this_thread::yield();
+          });
+        });
+        while (!started.load()) std::this_thread::yield();
+        delete pool;  // ParallelFor still blocked in the job: must abort
+        release.store(true);
+        driver.join();
+      },
+      "destroyed while a ParallelFor is still in flight");
 }
 
 }  // namespace

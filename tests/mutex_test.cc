@@ -1,0 +1,219 @@
+// lqs::Mutex / MutexLock / CondVar (common/mutex.h): mutual exclusion and
+// condition signaling through the annotated primitives, plus the
+// lock-rank checker — positive nested acquisitions in rank order, rank
+// state resetting on release, and death tests for rank inversion,
+// equal-rank nesting, and recursive acquisition. Rank checking is forced on
+// so the diagnostics are exercised under every build type (it defaults off
+// under NDEBUG).
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace lqs {
+namespace {
+
+class MutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Mutex::SetRankCheckEnabled(true); }
+};
+
+// The death tests below violate the lock discipline on purpose — the same
+// misuse -Wthread-safety rejects at compile time where it can see it. These
+// helpers opt out of the analysis so the *runtime* checker's diagnostics
+// can be exercised; the process aborts inside, so the leaked locks never
+// matter.
+void AcquireInOrder(Mutex* first, Mutex* second)
+    LQS_NO_THREAD_SAFETY_ANALYSIS {
+  first->Lock();
+  second->Lock();
+}
+
+void AcquireTwice(Mutex* mu) LQS_NO_THREAD_SAFETY_ANALYSIS {
+  mu->Lock();
+  mu->Lock();
+}
+
+TEST_F(MutexTest, MutualExclusionAcrossThreads) {
+  Mutex mu(10, "counter-mu");
+  int counter = 0;  // guarded by mu (by convention in this test)
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+// Structured as plain if/else on the TryLock result (rather than
+// ASSERT_TRUE(mu.TryLock())) so clang's try-acquire tracking can follow the
+// lock state through every branch.
+TEST_F(MutexTest, TryLockSucceedsWhenFreeFailsWhenContended) {
+  Mutex mu(10, "trylock-mu");
+  if (!mu.TryLock()) {
+    FAIL() << "TryLock on a free mutex must succeed";
+  } else {
+    mu.AssertHeld();
+    // Another thread must not be able to take it while we hold it.
+    bool other_got_it = false;
+    std::thread other([&mu, &other_got_it] {
+      if (mu.TryLock()) {
+        other_got_it = true;
+        mu.Unlock();
+      }
+    });
+    other.join();
+    EXPECT_FALSE(other_got_it);
+    mu.Unlock();
+  }
+  // Free again: a fresh thread succeeds and unlocks cleanly.
+  bool winner_got_it = false;
+  std::thread winner([&mu, &winner_got_it] {
+    if (mu.TryLock()) {
+      winner_got_it = true;
+      mu.Unlock();
+    }
+  });
+  winner.join();
+  EXPECT_TRUE(winner_got_it);
+}
+
+TEST_F(MutexTest, CondVarHandsOffUnderLock) {
+  Mutex mu(10, "cv-mu");
+  CondVar cv;
+  bool ready = false;    // guarded by mu
+  bool consumed = false;  // guarded by mu
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    mu.AssertHeld();  // the wait re-acquired the lock
+    consumed = true;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.Signal();
+  consumer.join();
+  MutexLock lock(&mu);
+  EXPECT_TRUE(consumed);
+}
+
+// The positive half of the rank-checker contract: nesting in strictly
+// increasing rank order is legal, arbitrarily deep, and repeatable.
+TEST_F(MutexTest, NestedAcquisitionInRankOrderIsClean) {
+  Mutex outer(100, "outer");
+  Mutex middle(200, "middle");
+  Mutex inner(300, "inner");
+  for (int round = 0; round < 3; ++round) {
+    MutexLock a(&outer);
+    MutexLock b(&middle);
+    MutexLock c(&inner);
+    outer.AssertHeld();
+    middle.AssertHeld();
+    inner.AssertHeld();
+  }
+}
+
+// Rank order constrains *held* locks only: once a high-rank mutex is
+// released, a lower-rank one may be taken next.
+TEST_F(MutexTest, RankStateResetsOnRelease) {
+  Mutex low(100, "low");
+  Mutex high(200, "high");
+  { MutexLock lock(&high); }
+  { MutexLock lock(&low); }
+  {
+    MutexLock a(&low);
+    MutexLock b(&high);
+  }
+}
+
+// Waiting on the innermost held lock releases and re-acquires it through
+// the rank bookkeeping without tripping the checker, even with an outer
+// lock held across the wait.
+TEST_F(MutexTest, CondVarWaitPreservesRankDiscipline) {
+  Mutex outer(100, "wait-outer");
+  Mutex inner(200, "wait-inner");
+  CondVar cv;
+  bool ready = false;  // guarded by inner
+  std::thread waiter([&] {
+    MutexLock a(&outer);
+    MutexLock b(&inner);
+    while (!ready) cv.Wait(&inner);
+    outer.AssertHeld();
+    inner.AssertHeld();
+  });
+  {
+    MutexLock lock(&inner);
+    ready = true;
+  }
+  cv.SignalAll();
+  waiter.join();
+}
+
+using MutexDeathTest = MutexTest;
+
+TEST_F(MutexDeathTest, RankInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex::SetRankCheckEnabled(true);
+        Mutex low(100, "low");
+        Mutex high(200, "high");
+        AcquireInOrder(&high, &low);  // 100 after 200: inversion
+      },
+      "lock-rank violation.*\"low\" \\(rank 100\\).*\"high\" \\(rank 200\\)");
+}
+
+TEST_F(MutexDeathTest, EqualRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex::SetRankCheckEnabled(true);
+        Mutex a(100, "a");
+        Mutex b(100, "b");
+        // Equal ranks: the order between them is undeclared, so nesting
+        // them in either direction is an inversion.
+        AcquireInOrder(&a, &b);
+      },
+      "lock-rank violation");
+}
+
+TEST_F(MutexDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex::SetRankCheckEnabled(true);
+        Mutex mu(100, "recursive");
+        AcquireTwice(&mu);  // lqs::Mutex is not reentrant
+      },
+      "recursive acquisition");
+}
+
+TEST_F(MutexDeathTest, AssertHeldAbortsWhenNotHeld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex::SetRankCheckEnabled(true);
+        Mutex mu(100, "unheld");
+        mu.AssertHeld();
+      },
+      "AssertHeld failed");
+}
+
+}  // namespace
+}  // namespace lqs

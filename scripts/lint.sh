@@ -13,10 +13,11 @@
 #   2. No naked assert() in src/ outside the validator layer and the
 #      documented primitive allowlist — invariants belong in Status-returning
 #      checks (src/analysis/) that stay loud in Release builds.
-#   3. No floating-point ==/!= comparisons in estimator/analysis/monitor
-#      code (src/lqs/, src/analysis/, src/monitor/): progress arithmetic
-#      must compare against tolerances. Suppress a deliberate exact
-#      comparison with `// lint:allow-float-eq` on the same line.
+#   3. No floating-point ==/!= comparisons in estimator/analysis/monitor/
+#      transport code (src/lqs/, src/analysis/, src/monitor/, src/remote/):
+#      progress arithmetic must compare against tolerances. Suppress a
+#      deliberate exact comparison with `// lint:allow-float-eq` on the
+#      same line.
 #   4. No raw std mutex/lock/condvar types in src/ outside the annotated
 #      primitive layer (src/common/mutex.{h,cc}): std::mutex cannot carry
 #      Clang capability attributes, so raw uses are invisible to the
@@ -66,7 +67,7 @@ while IFS=: read -r file line text; do
     *'lint:allow-float-eq'*) continue ;;
   esac
   fail "$file:$line: floating-point ==/!= in estimator code — compare against a tolerance"
-done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis src/monitor --include='*.cc' --include='*.h')
+done < <(grep -rnE "$float_eq_pattern" src/lqs src/analysis src/monitor src/remote --include='*.cc' --include='*.h')
 
 # ---- 4. Raw std mutex primitives in src/ ----------------------------------
 # The annotated wrappers in src/common/mutex.h are the only place the std

@@ -18,6 +18,12 @@ const char* CodeName(Status::Code code) {
       return "INTERNAL";
     case Status::Code::kUnimplemented:
       return "UNIMPLEMENTED";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Status::Code::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

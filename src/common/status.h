@@ -19,6 +19,14 @@ class Status {
     kOutOfRange,
     kInternal,
     kUnimplemented,
+    // Transport-facing codes (src/remote/): a peer that is temporarily not
+    // answering, a request that missed its deadline, and bytes that arrived
+    // damaged (framing/CRC failures). Matching the absl vocabulary keeps
+    // retry policy legible: kUnavailable/kDeadlineExceeded are retryable,
+    // kDataLoss means the payload must be discarded.
+    kUnavailable,
+    kDeadlineExceeded,
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +51,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

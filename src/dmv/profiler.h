@@ -1,8 +1,11 @@
 #ifndef LQS_DMV_PROFILER_H_
 #define LQS_DMV_PROFILER_H_
 
+#include <cmath>
 #include <vector>
 
+#include "common/statusor.h"
+#include "common/stringf.h"
 #include "dmv/query_profile.h"
 
 namespace lqs {
@@ -18,10 +21,37 @@ namespace lqs {
 /// TakeTrace(), at which point the trace is immutable (see ProfileTrace).
 class Profiler {
  public:
-  /// `live` points at the executor-owned live counters (indexed by node id)
-  /// and must outlive the profiler.
+  /// A polling interval must be a positive, finite number of virtual ms:
+  /// zero or negative would degenerate MaybePoll's catch-up loop into a
+  /// spin (it advances last_poll_ms_ by interval_ms_ until it catches now),
+  /// and NaN/inf silently disable polling. Checked by Create and by the
+  /// executor before it constructs a profiler.
+  static Status ValidateIntervalMs(double interval_ms) {
+    if (!std::isfinite(interval_ms) || interval_ms <= 0) {
+      return Status::InvalidArgument(
+          StringF("profiler: snapshot interval must be positive and finite, "
+                  "got %g ms",
+                  interval_ms));
+    }
+    return Status::OK();
+  }
+
+  /// Validating factory. `live` points at the executor-owned live counters
+  /// (indexed by node id) and must outlive the profiler.
+  static StatusOr<Profiler> Create(const std::vector<OperatorProfile>* live,
+                                   double interval_ms) {
+    LQS_RETURN_IF_ERROR(ValidateIntervalMs(interval_ms));
+    return Profiler(live, interval_ms);
+  }
+
+  /// Direct construction requires a valid interval (see ValidateIntervalMs);
+  /// callers that cannot guarantee one must go through Create. An invalid
+  /// interval is clamped to the 500 ms DMV default so a misuse that slips
+  /// past the Status path degrades to coarse polling instead of spinning.
   Profiler(const std::vector<OperatorProfile>* live, double interval_ms)
-      : live_(live), interval_ms_(interval_ms) {}
+      : live_(live),
+        interval_ms_(ValidateIntervalMs(interval_ms).ok() ? interval_ms
+                                                          : 500.0) {}
 
   /// Takes a snapshot if at least interval_ms has elapsed since the last
   /// one. The very first call always snapshots: a query shorter than one

@@ -8,6 +8,11 @@ namespace lqs {
 StatusOr<ExecutionResult> ExecuteQueryWithSink(
     const Plan& plan, Catalog* catalog, const ExecOptions& options,
     const std::function<void(const Row&)>& sink) {
+  // A non-positive or non-finite polling interval used to degenerate
+  // silently (MaybePoll's grid catch-up loop never terminates for <= 0);
+  // reject it before any work happens.
+  LQS_RETURN_IF_ERROR(
+      Profiler::ValidateIntervalMs(options.snapshot_interval_ms));
   ExecContext ctx(catalog, options, plan.size());
   Profiler profiler(&ctx.live_profiles(), options.snapshot_interval_ms);
   ctx.set_profiler(&profiler);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 namespace lqs {
@@ -46,8 +47,13 @@ int MonitorService::RegisterSession(std::string name, const Plan* plan,
                                     const EstimatorOptions& estimator_options) {
   const ProgressEstimator* estimator =
       CachedEstimator(plan, catalog, estimator_options);
-  Session session{std::move(name), plan,      catalog, trace,
-                  start_offset_ms, estimator, nullptr};
+  Session session;
+  session.name = std::move(name);
+  session.plan = plan;
+  session.catalog = catalog;
+  session.trace = trace;
+  session.start_offset_ms = start_offset_ms;
+  session.estimator = estimator;
   if (options_.check_invariants) {
     session.checker = std::make_unique<ProgressInvariantChecker>(
         estimator, options_.checker_options);
@@ -56,13 +62,47 @@ int MonitorService::RegisterSession(std::string name, const Plan* plan,
   return static_cast<int>(sessions_.size()) - 1;
 }
 
+int MonitorService::RegisterRemoteSession(
+    std::string name, const Plan* plan, const Catalog* catalog,
+    std::unique_ptr<SnapshotEndpoint> endpoint, double start_offset_ms,
+    const PollingClientOptions& client_options,
+    const EstimatorOptions& estimator_options) {
+  const ProgressEstimator* estimator =
+      CachedEstimator(plan, catalog, estimator_options);
+  Session session;
+  session.name = std::move(name);
+  session.plan = plan;
+  session.catalog = catalog;
+  session.trace = nullptr;
+  session.start_offset_ms = start_offset_ms;
+  session.estimator = estimator;
+  if (options_.check_invariants) {
+    session.checker = std::make_unique<ProgressInvariantChecker>(
+        estimator, options_.checker_options);
+  }
+  session.client =
+      std::make_unique<PollingClient>(std::move(endpoint), client_options);
+  sessions_.push_back(std::move(session));
+  ++remote_sessions_;
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
 double MonitorService::HorizonMs() const {
   double horizon = 0;
   for (const Session& s : sessions_) {
-    horizon =
-        std::max(horizon, s.start_offset_ms + s.trace->total_elapsed_ms);
+    const double elapsed = s.trace != nullptr
+                               ? s.trace->total_elapsed_ms
+                               : std::max(0.0, s.client->KnownHorizonMs());
+    horizon = std::max(horizon, s.start_offset_ms + elapsed);
   }
   return horizon;
+}
+
+bool MonitorService::AllSessionsDone() const {
+  for (const Session& s : sessions_) {
+    if (s.last_state != SessionState::kDone) return false;
+  }
+  return true;
 }
 
 void MonitorService::ComputeStatus(size_t index, double now_ms,
@@ -70,20 +110,29 @@ void MonitorService::ComputeStatus(size_t index, double now_ms,
   Session& session = sessions_[index];
   out->session_id = static_cast<int>(index);
   out->local_time_ms = now_ms - session.start_offset_ms;
+  out->remote = session.client != nullptr;
   *latency_ms = -1;
   if (out->local_time_ms < 0) {
     out->state = SessionState::kWaiting;
     out->progress = 0;
+    session.last_state = out->state;
+    return;
+  }
+  if (session.client != nullptr) {
+    ComputeRemoteStatus(&session, out, latency_ms);
+    session.last_state = out->state;
     return;
   }
   if (out->local_time_ms >= session.trace->total_elapsed_ms) {
     out->state = SessionState::kDone;
     out->snapshot = &session.trace->final_snapshot;
     out->progress = 1.0;
+    session.last_state = out->state;
     return;
   }
   out->state = SessionState::kRunning;
   out->snapshot = session.trace->SnapshotAtOrBefore(out->local_time_ms);
+  session.last_state = out->state;
   if (out->snapshot == nullptr) {
     // Unreachable for executor-produced traces (the profiler snapshots on
     // its first poll), but hand-built traces may have no sample this early.
@@ -100,6 +149,40 @@ void MonitorService::ComputeStatus(size_t index, double now_ms,
   out->progress = out->report.query_progress;
 }
 
+void MonitorService::ComputeRemoteStatus(Session* session, SessionStatus* out,
+                                         double* latency_ms) {
+  out->remote = true;
+  const ClientView& view = session->client->Poll(out->local_time_ms);
+  out->stale = view.stale;
+  out->staleness_ms = view.staleness_ms;
+  out->degraded = view.health == TransportHealth::kDegraded;
+  out->consecutive_failures = view.consecutive_failures;
+  if (view.query_complete) {
+    // The final snapshot crossed the link; counters are final.
+    out->state = SessionState::kDone;
+    out->snapshot = view.snapshot;
+    out->progress = 1.0;
+    return;
+  }
+  out->state = SessionState::kRunning;
+  out->snapshot = view.snapshot;
+  if (out->snapshot == nullptr) {
+    // Nothing has crossed the link yet (first polls lost, or the server
+    // has no sample this early). Progress holds at zero; the session is
+    // alive, not wedged.
+    out->progress = 0;
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  out->report = session->checker != nullptr
+                    ? session->checker->EstimateChecked(*out->snapshot)
+                    : session->estimator->Estimate(*out->snapshot);
+  *latency_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out->progress = out->report.query_progress;
+}
+
 std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   std::vector<SessionStatus> statuses(sessions_.size());
   std::vector<double> latencies(sessions_.size(), -1);
@@ -110,10 +193,34 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   const double tick_wall_ms = std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - tick_start)
                                   .count();
+  // Transport aggregation runs on the driver after the barrier: per-session
+  // clients are quiescent here (the same ownership rule that lets
+  // ComputeStatus mutate them without a lock).
+  size_t degraded = 0;
+  ClientStats transport;
+  for (const SessionStatus& s : statuses) {
+    if (s.degraded) ++degraded;
+  }
+  for (const Session& s : sessions_) {
+    if (s.client == nullptr) continue;
+    const ClientStats& cs = s.client->stats();
+    transport.polls += cs.polls;
+    transport.attempts += cs.attempts;
+    transport.retries += cs.retries;
+    transport.transport_failures += cs.transport_failures;
+    transport.decode_errors += cs.decode_errors;
+    transport.accepted += cs.accepted;
+    transport.duplicates_ignored += cs.duplicates_ignored;
+    transport.regressions_rejected += cs.regressions_rejected;
+    transport.failed_polls += cs.failed_polls;
+    transport.stale_polls += cs.stale_polls;
+  }
   // Counter updates happen after the ParallelFor barrier, under stats_mu_
   // only — the pool's lock is never held here, so the kMonitorStats <
   // kThreadPool rank order is trivially respected.
   MutexLock lock(&stats_mu_);
+  last_degraded_ = degraded;
+  transport_totals_ = transport;
   wall_ms_ += tick_wall_ms;
   tick_latencies_ms_.push_back(tick_wall_ms);
   ++ticks_;
@@ -151,17 +258,47 @@ void MonitorService::RunToCompletion(
     }
     return;
   }
-  for (double t = tick; t <= horizon + 1e-9; t += tick) {
+  double t = tick;
+  for (; t <= horizon + 1e-9; t += tick) {
     auto statuses = Tick(t);
     if (render) render(t, statuses);
+  }
+  // Overtime: a lossy link may not have delivered some remote session's
+  // final snapshot by the nominal horizon (drops, delays). Keep ticking a
+  // bounded number of extra intervals; each one is another delivery
+  // opportunity. Local trace-backed sessions are always done at the
+  // horizon, so a monitor without remote sessions never enters this loop
+  // and its output is unchanged.
+  for (int extra = 0;
+       extra < options_.max_overtime_ticks && !AllSessionsDone(); ++extra) {
+    auto statuses = Tick(t);
+    if (render) render(t, statuses);
+    t += tick;
   }
 }
 
 ValidationReport MonitorService::FinalCheck() {
   ValidationReport merged;
   for (Session& session : sessions_) {
-    if (session.checker == nullptr) continue;
-    session.checker->CheckFinal(session.trace->final_snapshot);
+    const ProfileSnapshot* final_snapshot = nullptr;
+    if (session.trace != nullptr) {
+      final_snapshot = &session.trace->final_snapshot;
+    } else if (session.client->complete()) {
+      final_snapshot = session.client->final_snapshot();
+    } else {
+      // The link never delivered the final snapshot (degraded past every
+      // overtime tick). The session did not wedge the service, but its
+      // monitoring is incomplete — surface that as a finding.
+      merged.Add("remote_session_incomplete", -1, -1,
+                 session.name +
+                     ": final snapshot never crossed the link "
+                     "(consecutive failures: " +
+                     std::to_string(session.client->view()
+                                        .consecutive_failures) +
+                     ")");
+    }
+    if (session.checker == nullptr || final_snapshot == nullptr) continue;
+    session.checker->CheckFinal(*final_snapshot);
     for (const ValidationIssue& issue : session.checker->report().issues()) {
       merged.Add(issue.check, issue.node_id, issue.pipeline_id,
                  session.name + ": " + issue.detail);
@@ -202,6 +339,16 @@ MonitorStats MonitorService::stats() const {
               &stats.p95_estimate_latency_ms);
   percentiles(tick_latencies_ms_, &stats.p50_tick_latency_ms,
               &stats.p95_tick_latency_ms);
+  stats.remote_sessions = remote_sessions_;
+  stats.degraded_sessions = last_degraded_;
+  stats.transport_polls = transport_totals_.polls;
+  stats.transport_retries = transport_totals_.retries;
+  stats.transport_failures = transport_totals_.transport_failures;
+  stats.decode_errors = transport_totals_.decode_errors;
+  stats.snapshots_accepted = transport_totals_.accepted;
+  stats.duplicates_ignored = transport_totals_.duplicates_ignored;
+  stats.regressions_rejected = transport_totals_.regressions_rejected;
+  stats.stale_reports = transport_totals_.stale_polls;
   return stats;
 }
 

@@ -17,6 +17,7 @@
 #include "exec/plan.h"
 #include "lqs/estimator.h"
 #include "monitor/thread_pool.h"
+#include "remote/polling_client.h"
 #include "storage/catalog.h"
 
 namespace lqs {
@@ -36,6 +37,12 @@ struct MonitorOptions {
   /// FinalCheck().
   bool check_invariants = true;
   InvariantCheckerOptions checker_options;
+  /// Ticks RunToCompletion keeps issuing past the nominal horizon while
+  /// remote sessions still await their final snapshot over a lossy link.
+  /// Once exhausted, unfinished sessions are left degraded rather than
+  /// looping forever (they surface in FinalCheck). Irrelevant for local
+  /// trace-backed sessions, which are always done at the horizon.
+  int max_overtime_ticks = 256;
 };
 
 enum class SessionState {
@@ -59,6 +66,22 @@ struct SessionStatus {
   ProgressReport report;
   /// [0, 1]; 0 while waiting, 1 once done, report.query_progress otherwise.
   double progress = 0;
+
+  // --- Transport condition (endpoint-backed sessions only) ---
+  /// True when the session polls a SnapshotEndpoint instead of reading a
+  /// local trace. The fields below stay at their defaults for local ones.
+  bool remote = false;
+  /// This tick's estimate came from a held/interpolated snapshot (no fresh
+  /// data crossed the link this tick).
+  bool stale = false;
+  /// Age of the snapshot behind the estimate: tick time minus the accepted
+  /// snapshot's own timestamp.
+  double staleness_ms = 0;
+  /// The session exhausted its consecutive-failure budget; it keeps being
+  /// polled (degraded is recoverable) but its estimate may be arbitrarily
+  /// old.
+  bool degraded = false;
+  int consecutive_failures = 0;
 };
 
 /// Aggregate counters across the life of one MonitorService.
@@ -85,6 +108,22 @@ struct MonitorStats {
   /// Wall-clock time spent inside Tick() and the resulting throughput.
   double wall_ms = 0;
   double reports_per_sec = 0;
+
+  // --- Remote transport aggregates (sum over endpoint-backed sessions) ---
+  size_t remote_sessions = 0;
+  /// Sessions currently in the degraded state (as of the last tick).
+  size_t degraded_sessions = 0;
+  uint64_t transport_polls = 0;
+  uint64_t transport_retries = 0;
+  /// Attempts lost to timeouts/drops at the transport level.
+  uint64_t transport_failures = 0;
+  /// Frames that arrived but failed framing/CRC/decode.
+  uint64_t decode_errors = 0;
+  uint64_t snapshots_accepted = 0;
+  uint64_t duplicates_ignored = 0;
+  uint64_t regressions_rejected = 0;
+  /// Ticks on which a session served held/interpolated data.
+  uint64_t stale_reports = 0;
 };
 
 /// Owns many concurrently-monitored query sessions and replays their DMV
@@ -130,14 +169,41 @@ class MonitorService {
                       const EstimatorOptions& estimator_options =
                           EstimatorOptions::Lqs());
 
+  /// Registers a session whose snapshots arrive through `endpoint` — over
+  /// the wire format, with the PollingClient's timeout/retry/backoff and
+  /// duplicate/regression filtering between the link and the estimator
+  /// (DESIGN.md §10). `plan` and `catalog` must outlive the service; the
+  /// endpoint is owned by the session. The trace-backed RegisterSession
+  /// above stays the in-process fast path: its sessions read the trace
+  /// directly and are byte-identical to pre-transport behaviour.
+  int RegisterRemoteSession(std::string name, const Plan* plan,
+                            const Catalog* catalog,
+                            std::unique_ptr<SnapshotEndpoint> endpoint,
+                            double start_offset_ms,
+                            const PollingClientOptions& client_options = {},
+                            const EstimatorOptions& estimator_options =
+                                EstimatorOptions::Lqs());
+
+  /// Transport counters of one endpoint-backed session (e.g. to inspect the
+  /// fault mix a test injected). Must be a remote session id. Driver thread
+  /// only — the client is session state, not behind stats_mu_.
+  const ClientStats& session_client_stats(int session_id) const {
+    return sessions_[static_cast<size_t>(session_id)].client->stats();
+  }
+
   size_t session_count() const { return sessions_.size(); }
   const std::string& session_name(int session_id) const {
     return sessions_[static_cast<size_t>(session_id)].name;
   }
 
   /// Virtual time at which the last session finishes (0 when no session
-  /// does any work).
+  /// does any work). Remote sessions contribute their endpoint's advertised
+  /// horizon; an endpoint that does not know one contributes nothing (its
+  /// session completes during overtime ticks, see MonitorOptions).
   double HorizonMs() const;
+
+  /// True when every session has reached kDone as of the last tick.
+  bool AllSessionsDone() const;
 
   /// Advances the shared timeline to `now_ms` and computes every session's
   /// status. Call with non-decreasing times — the invariant checkers
@@ -166,10 +232,18 @@ class MonitorService {
     std::string name;
     const Plan* plan;
     const Catalog* catalog;
+    /// Local sessions read this trace directly; null for remote sessions.
     const ProfileTrace* trace;
     double start_offset_ms;
     const ProgressEstimator* estimator;  // owned by estimator_cache_
     std::unique_ptr<ProgressInvariantChecker> checker;  // null if unchecked
+    /// Remote sessions poll through this client; null for local sessions.
+    /// Like `checker`, it is per-session mutable state: touched by exactly
+    /// one pool worker per tick, ticks ordered by the ParallelFor barrier.
+    std::unique_ptr<PollingClient> client;
+    /// Latest state, written by ComputeStatus (same ownership as above) so
+    /// the driver can detect completion and aggregate transport stats.
+    SessionState last_state = SessionState::kWaiting;
   };
 
   /// Cache key: estimator identity is the plan + catalog + the full option
@@ -183,11 +257,18 @@ class MonitorService {
   /// Computes one session's status at `now_ms` (runs on a pool worker).
   void ComputeStatus(size_t index, double now_ms, SessionStatus* out,
                      double* latency_ms);
+  /// Endpoint-backed arm of ComputeStatus: polls the session's client and
+  /// estimates off whatever snapshot the link yielded.
+  void ComputeRemoteStatus(Session* session, SessionStatus* out,
+                           double* latency_ms);
 
   MonitorOptions options_;
   ThreadPool pool_;
   std::vector<Session> sessions_;
   std::map<EstimatorKey, std::unique_ptr<ProgressEstimator>> estimator_cache_;
+  /// Count of endpoint-backed sessions; like sessions_, driver-owned and
+  /// only sampled (not mutated) by stats().
+  size_t remote_sessions_ = 0;
 
   /// Guards the counters behind stats(). The driver updates them once per
   /// tick after the ParallelFor barrier (never while holding the pool's
@@ -203,6 +284,10 @@ class MonitorService {
   double wall_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
   std::vector<double> estimate_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
   std::vector<double> tick_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
+  /// Transport aggregates, recomputed by the driver after each tick's
+  /// barrier from the per-session clients and published here for stats().
+  size_t last_degraded_ LQS_GUARDED_BY(stats_mu_) = 0;
+  ClientStats transport_totals_ LQS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace lqs

@@ -1,0 +1,27 @@
+#include "remote/endpoint.h"
+
+#include "remote/wire.h"
+
+namespace lqs {
+
+PollResult LoopbackEndpoint::Poll(const PollRequest& request) {
+  PollResponse response;
+  response.request_id = request.request_id;
+  if (request.now_ms >= trace_->total_elapsed_ms) {
+    // The query is done: every poll from here on returns the final
+    // counters, flagged complete so the client can stop retrying.
+    response.has_snapshot = true;
+    response.query_complete = true;
+    response.snapshot = trace_->final_snapshot;
+  } else if (const ProfileSnapshot* snapshot =
+                 trace_->SnapshotAtOrBefore(request.now_ms)) {
+    response.has_snapshot = true;
+    response.snapshot = *snapshot;
+  }
+  PollResult result;
+  EncodePollResponse(response, &result.frame);
+  result.arrival_ms = request.now_ms;  // loopback delivers instantly
+  return result;
+}
+
+}  // namespace lqs

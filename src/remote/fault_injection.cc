@@ -1,0 +1,104 @@
+#include "remote/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lqs {
+
+FaultInjectingEndpoint::FaultInjectingEndpoint(
+    std::unique_ptr<SnapshotEndpoint> inner, const FaultConfig& config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+void FaultInjectingEndpoint::Corrupt(std::string* frame) {
+  ++stats_.corrupted;
+  if (frame->empty()) return;
+  if (rng_.NextBool(0.5)) {
+    // Truncation: the tail never made it. May cut into the header.
+    frame->resize(rng_.NextBelow(frame->size()));
+  } else {
+    // Single bit flip anywhere in the frame — header, length, CRC or
+    // payload. Whatever it hits, decode must fail cleanly.
+    const size_t byte = rng_.NextBelow(frame->size());
+    (*frame)[byte] = static_cast<char>(
+        static_cast<uint8_t>((*frame)[byte]) ^ (1u << rng_.NextBelow(8)));
+  }
+}
+
+PollResult FaultInjectingEndpoint::Poll(const PollRequest& request) {
+  // A response already in flight that has reached the client by now is
+  // delivered first, in arrival order. It answers an *older* request, so
+  // its snapshot is stale — possibly older than one the client has already
+  // accepted (reordering). The client's regression filter deals with that.
+  if (!in_flight_.empty() &&
+      in_flight_.front().arrival_ms <= request.now_ms) {
+    PollResult result;
+    result.frame = std::move(in_flight_.front().frame);
+    result.arrival_ms = in_flight_.front().arrival_ms;
+    in_flight_.pop_front();
+    ++stats_.late_delivered;
+    return result;
+  }
+
+  PollResult result = inner_->Poll(request);
+  if (!result.status.ok()) return result;
+  ++stats_.forwarded;
+
+  if (config_.corrupt_probability > 0 &&
+      rng_.NextBool(config_.corrupt_probability)) {
+    // Damaged but delivered: transport looks healthy, CRC says otherwise.
+    Corrupt(&result.frame);
+    return result;
+  }
+  if (config_.drop_probability > 0 && rng_.NextBool(config_.drop_probability)) {
+    ++stats_.dropped;
+    PollResult timeout;
+    timeout.status = Status::DeadlineExceeded("fault: response dropped");
+    timeout.arrival_ms = request.deadline_ms;
+    return timeout;
+  }
+  if (config_.delay_probability > 0 &&
+      rng_.NextBool(config_.delay_probability)) {
+    const double delay =
+        config_.max_delay_ms > 0
+            ? (1.0 - rng_.NextDouble()) * config_.max_delay_ms  // (0, max]
+            : 0.0;
+    const double arrival = request.now_ms + delay;
+    if (arrival > request.deadline_ms) {
+      // Past the client's deadline: queue for a later poll and report a
+      // timeout now. Insertion keeps the queue in arrival order.
+      InFlight late{arrival, std::move(result.frame)};
+      in_flight_.insert(
+          std::upper_bound(in_flight_.begin(), in_flight_.end(), late,
+                           [](const InFlight& a, const InFlight& b) {
+                             return a.arrival_ms < b.arrival_ms;
+                           }),
+          std::move(late));
+      ++stats_.delayed;
+      PollResult timeout;
+      timeout.status =
+          Status::DeadlineExceeded("fault: response delayed past deadline");
+      timeout.arrival_ms = request.deadline_ms;
+      return timeout;
+    }
+    result.arrival_ms = arrival;  // slow but within deadline
+  }
+  if (config_.duplicate_probability > 0 &&
+      rng_.NextBool(config_.duplicate_probability)) {
+    // The same bytes show up again later. Arrival is drawn like a delay so
+    // duplicates interleave with genuinely late responses.
+    const double extra = config_.max_delay_ms > 0
+                             ? (1.0 - rng_.NextDouble()) * config_.max_delay_ms
+                             : 1e-6;
+    InFlight dup{request.now_ms + extra, result.frame};
+    in_flight_.insert(
+        std::upper_bound(in_flight_.begin(), in_flight_.end(), dup,
+                         [](const InFlight& a, const InFlight& b) {
+                           return a.arrival_ms < b.arrival_ms;
+                         }),
+        std::move(dup));
+    ++stats_.duplicated;
+  }
+  return result;
+}
+
+}  // namespace lqs

@@ -1,0 +1,80 @@
+#ifndef LQS_REMOTE_FAULT_INJECTION_H_
+#define LQS_REMOTE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "remote/endpoint.h"
+
+namespace lqs {
+
+/// Fault model of a lossy link, drawn under a seeded RNG so every run is
+/// exactly reproducible. Probabilities are per poll attempt and evaluated in
+/// the order: corrupt, drop, delay, duplicate (a corrupted response is
+/// delivered damaged rather than dropped — the client's CRC check is the
+/// thing under test).
+struct FaultConfig {
+  /// Response lost entirely: the attempt observes a timeout.
+  double drop_probability = 0;
+  /// Response held back and delivered on a later poll instead — the client
+  /// sees a timeout now and a *stale* (possibly out-of-order) snapshot
+  /// later. Delay is uniform in (0, max_delay_ms].
+  double delay_probability = 0;
+  double max_delay_ms = 0;
+  /// Response delivered now and again on a later poll (duplicate delivery).
+  double duplicate_probability = 0;
+  /// Frame damaged in flight: truncated at a random byte or a random bit
+  /// flipped, chosen 50/50. Arrives with an ok transport status, so only
+  /// the decoder can catch it.
+  double corrupt_probability = 0;
+  uint64_t seed = 1;
+};
+
+/// What the link did, for assertions and BENCH lines.
+struct FaultStats {
+  uint64_t forwarded = 0;   ///< polls answered from the inner endpoint
+  uint64_t dropped = 0;
+  uint64_t delayed = 0;     ///< responses queued for late delivery
+  uint64_t late_delivered = 0;
+  uint64_t duplicated = 0;  ///< extra copies queued
+  uint64_t corrupted = 0;
+};
+
+/// Decorator that replays another endpoint through the fault model above:
+/// drops, delays (which reorder), duplicates, and damages responses. Late
+/// responses are delivered on subsequent polls in arrival order, carrying
+/// their original (stale) payload — exactly how a delayed datagram surfaces.
+///
+/// Concurrency audit: thread-compatible like every SnapshotEndpoint — owned
+/// by one session's PollingClient, never shared (see endpoint.h).
+class FaultInjectingEndpoint : public SnapshotEndpoint {
+ public:
+  FaultInjectingEndpoint(std::unique_ptr<SnapshotEndpoint> inner,
+                         const FaultConfig& config);
+
+  PollResult Poll(const PollRequest& request) override;
+  double KnownHorizonMs() const override { return inner_->KnownHorizonMs(); }
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    double arrival_ms;
+    std::string frame;
+  };
+
+  void Corrupt(std::string* frame);
+
+  std::unique_ptr<SnapshotEndpoint> inner_;
+  FaultConfig config_;
+  Rng rng_;
+  FaultStats stats_;
+  /// Responses in flight past their original deadline, ordered by arrival.
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_REMOTE_FAULT_INJECTION_H_

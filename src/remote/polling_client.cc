@@ -1,0 +1,200 @@
+#include "remote/polling_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "remote/wire.h"
+
+namespace lqs {
+
+PollingClient::PollingClient(std::unique_ptr<SnapshotEndpoint> endpoint,
+                             PollingClientOptions options)
+    : endpoint_(std::move(endpoint)),
+      options_(options),
+      jitter_rng_(options.jitter_seed) {}
+
+bool PollingClient::MaybeAccept(ProfileSnapshot snapshot,
+                                bool query_complete) {
+  if (have_snapshot_) {
+    if (snapshot.time_ms <= last_accepted_.time_ms) {
+      // Same instant: a redelivered duplicate, harmless. Older: a reordered
+      // late delivery that must not roll the estimator's view back.
+      const double tolerance = 1e-9;
+      if (std::abs(snapshot.time_ms - last_accepted_.time_ms) <= tolerance) {
+        ++stats_.duplicates_ignored;
+      } else {
+        ++stats_.regressions_rejected;
+      }
+      return false;
+    }
+    // Counters running backwards at a newer timestamp mean the payload is
+    // not a later observation of the same execution (a restarted server, a
+    // misrouted response). DMV counters are monotone; reject.
+    if (snapshot.operators.size() != last_accepted_.operators.size()) {
+      ++stats_.regressions_rejected;
+      return false;
+    }
+    for (size_t i = 0; i < snapshot.operators.size(); ++i) {
+      if (snapshot.operators[i].row_count <
+              last_accepted_.operators[i].row_count ||
+          snapshot.operators[i].rebind_count <
+              last_accepted_.operators[i].rebind_count) {
+        ++stats_.regressions_rejected;
+        return false;
+      }
+    }
+    prev_accepted_ = std::move(last_accepted_);
+    have_prev_ = true;
+  }
+  last_accepted_ = std::move(snapshot);
+  have_snapshot_ = true;
+  if (query_complete) complete_ = true;
+  ++stats_.accepted;
+  return true;
+}
+
+void PollingClient::Interpolate(double now_ms) {
+  // Extrapolate counters at the rate observed between the last two accepted
+  // snapshots, capped at one inter-snapshot gap so a long outage does not
+  // run progress arbitrarily far ahead of reality.
+  const double gap = last_accepted_.time_ms - prev_accepted_.time_ms;
+  if (gap <= 0) {
+    interpolated_ = last_accepted_;
+    return;
+  }
+  const double ahead =
+      std::min(now_ms - last_accepted_.time_ms, gap);
+  if (ahead <= 0) {
+    interpolated_ = last_accepted_;
+    return;
+  }
+  const double f = ahead / gap;
+  interpolated_ = last_accepted_;
+  interpolated_.time_ms = last_accepted_.time_ms + ahead;
+  for (size_t i = 0; i < interpolated_.operators.size(); ++i) {
+    OperatorProfile& out = interpolated_.operators[i];
+    const OperatorProfile& last = last_accepted_.operators[i];
+    const OperatorProfile& prev = prev_accepted_.operators[i];
+    auto lerp_u64 = [f](uint64_t newer, uint64_t older) -> uint64_t {
+      return newer +
+             static_cast<uint64_t>(
+                 f * static_cast<double>(newer - std::min(newer, older)));
+    };
+    out.row_count = lerp_u64(last.row_count, prev.row_count);
+    out.logical_read_count =
+        lerp_u64(last.logical_read_count, prev.logical_read_count);
+    out.segment_read_count =
+        lerp_u64(last.segment_read_count, prev.segment_read_count);
+    if (out.segment_total_count > 0) {
+      out.segment_read_count =
+          std::min(out.segment_read_count, out.segment_total_count);
+    }
+    out.cpu_time_ms += f * std::max(0.0, last.cpu_time_ms - prev.cpu_time_ms);
+    out.io_time_ms += f * std::max(0.0, last.io_time_ms - prev.io_time_ms);
+  }
+}
+
+void PollingClient::BuildView(double now_ms, bool accepted_fresh,
+                              bool link_alive) {
+  if (link_alive) {
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+    ++stats_.failed_polls;
+  }
+  view_.consecutive_failures = consecutive_failures_;
+  view_.health = consecutive_failures_ >= options_.degrade_after_failures
+                     ? TransportHealth::kDegraded
+                     : TransportHealth::kHealthy;
+  view_.query_complete = complete_;
+  view_.stale = have_snapshot_ && !accepted_fresh;
+  if (!have_snapshot_) {
+    view_.snapshot = nullptr;
+    view_.staleness_ms = 0;
+    return;
+  }
+  view_.staleness_ms = std::max(0.0, now_ms - last_accepted_.time_ms);
+  if (view_.stale) ++stats_.stale_polls;
+  if (view_.stale && !complete_ &&
+      options_.staleness_policy == StalenessPolicy::kInterpolate &&
+      have_prev_) {
+    Interpolate(now_ms);
+    view_.snapshot = &interpolated_;
+  } else {
+    view_.snapshot = &last_accepted_;
+  }
+}
+
+const ClientView& PollingClient::Poll(double now_ms) {
+  if (complete_) {
+    // The final snapshot is in hand; nothing fresher can exist. Serve it
+    // without touching the link. accepted_fresh=true: final counters are
+    // the current truth, not stale data.
+    BuildView(now_ms, /*accepted_fresh=*/true, /*link_alive=*/true);
+    return view_;
+  }
+  ++stats_.polls;
+  bool accepted_fresh = false;
+  bool link_alive = false;
+  double attempt_time = now_ms;
+  double backoff = options_.backoff_initial_ms;
+  for (int attempt = 0; attempt < std::max(1, options_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    ++stats_.attempts;
+    PollRequest request;
+    request.request_id = next_request_id_++;
+    request.now_ms = attempt_time;
+    request.deadline_ms = attempt_time + options_.timeout_ms;
+    PollResult result = endpoint_->Poll(request);
+    const bool timed_out =
+        !result.status.ok() || result.arrival_ms > request.deadline_ms;
+    if (timed_out) {
+      ++stats_.transport_failures;
+      // Exponential backoff with deterministic jitter before the retry;
+      // virtual time advances so the next attempt asks a later question.
+      const double capped = std::min(backoff, options_.backoff_max_ms);
+      const double jitter =
+          1.0 + options_.jitter_fraction *
+                    (2.0 * jitter_rng_.NextDouble() - 1.0);
+      attempt_time += std::max(0.0, capped * jitter);
+      backoff *= options_.backoff_multiplier;
+      continue;
+    }
+    StatusOr<PollResponse> response = DecodePollResponse(result.frame);
+    if (!response.ok()) {
+      // Bytes arrived damaged (truncated / bit-flipped / CRC). The decoder
+      // contained the blast; retry as if the response were lost, but track
+      // it separately — persistent decode errors mean version skew or a
+      // broken link, not congestion.
+      ++stats_.decode_errors;
+      const double capped = std::min(backoff, options_.backoff_max_ms);
+      const double jitter =
+          1.0 + options_.jitter_fraction *
+                    (2.0 * jitter_rng_.NextDouble() - 1.0);
+      attempt_time += std::max(0.0, capped * jitter);
+      backoff *= options_.backoff_multiplier;
+      continue;
+    }
+    link_alive = true;
+    if (response->has_snapshot &&
+        MaybeAccept(std::move(response->snapshot),
+                    response->query_complete)) {
+      accepted_fresh = true;
+      break;
+    }
+    if (!response->has_snapshot) {
+      // The server genuinely has nothing yet (query younger than its first
+      // DMV sample). Not a failure; nothing to chase this tick.
+      break;
+    }
+    // A duplicate or reordered-stale delivery: the link works but this
+    // response carries no news. Remaining attempts chase the fresh data
+    // that may sit behind it (e.g. behind a late-delivery queue).
+  }
+  BuildView(now_ms, accepted_fresh, link_alive);
+  return view_;
+}
+
+}  // namespace lqs

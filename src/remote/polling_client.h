@@ -1,0 +1,164 @@
+#ifndef LQS_REMOTE_POLLING_CLIENT_H_
+#define LQS_REMOTE_POLLING_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "dmv/query_profile.h"
+#include "remote/endpoint.h"
+
+namespace lqs {
+
+/// What the client does with a tick on which no fresh snapshot arrived.
+enum class StalenessPolicy {
+  /// Keep showing the last accepted snapshot (progress holds flat). The
+  /// default: never fabricates counters, so downstream invariant checkers
+  /// see only data the server actually produced.
+  kHold,
+  /// Extrapolate counters forward at the rate observed between the last two
+  /// accepted snapshots, capped at one inter-snapshot gap. Progress keeps
+  /// moving across short outages, at the cost of synthetic counters that a
+  /// later real snapshot may land slightly below (the §5 revision metric
+  /// treats such corrections as revisions, not errors).
+  kInterpolate,
+};
+
+struct PollingClientOptions {
+  /// Virtual-time budget for one attempt; a response arriving later than
+  /// send + timeout_ms counts as timed out even if it carries bytes.
+  double timeout_ms = 50;
+  /// Attempts per Poll(): 1 initial + (max_attempts - 1) retries.
+  int max_attempts = 4;
+  /// Exponential backoff between failed attempts, on the virtual timeline:
+  /// initial * multiplier^k, capped, then jittered by ±jitter_fraction with
+  /// a deterministic seeded draw (all sessions seeded alike would otherwise
+  /// retry in lockstep — the classic thundering herd).
+  double backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 200;
+  double jitter_fraction = 0.2;
+  uint64_t jitter_seed = 1;
+  /// Consecutive Poll() calls with no decodable response before the session
+  /// is marked degraded. A single decodable response recovers it.
+  int degrade_after_failures = 8;
+  StalenessPolicy staleness_policy = StalenessPolicy::kHold;
+};
+
+enum class TransportHealth {
+  kHealthy,
+  /// The consecutive-failure budget is exhausted. The client keeps serving
+  /// its last accepted snapshot and keeps polling — degraded is a surfaced
+  /// state, not a terminal one — so the session never wedges the monitor.
+  kDegraded,
+};
+
+/// What the monitor sees after one Poll(): the freshest usable snapshot plus
+/// transport condition. `snapshot` points into client-owned storage and is
+/// valid until the next Poll() on this client.
+struct ClientView {
+  const ProfileSnapshot* snapshot = nullptr;  ///< null before first accept
+  /// The server declared the query complete and `snapshot` holds its final
+  /// counters.
+  bool query_complete = false;
+  /// No fresh snapshot was accepted by this Poll() — `snapshot` is held (or
+  /// interpolated) from earlier data.
+  bool stale = false;
+  /// now - (time of the last *accepted* snapshot); 0 before the first one.
+  double staleness_ms = 0;
+  TransportHealth health = TransportHealth::kHealthy;
+  int consecutive_failures = 0;
+};
+
+/// Lifetime counters of one client, surfaced into MonitorStats.
+struct ClientStats {
+  uint64_t polls = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  /// Attempts that timed out or errored at the transport level.
+  uint64_t transport_failures = 0;
+  /// Attempts whose bytes arrived but failed framing/CRC/decode.
+  uint64_t decode_errors = 0;
+  /// Snapshots accepted (fresh, monotone).
+  uint64_t accepted = 0;
+  /// Redeliveries of the already-accepted snapshot (same timestamp).
+  uint64_t duplicates_ignored = 0;
+  /// Snapshots rejected as older than the last accepted one (reordered late
+  /// deliveries), or carrying counters that went backwards.
+  uint64_t regressions_rejected = 0;
+  /// Poll() calls that ended with no decodable response at all.
+  uint64_t failed_polls = 0;
+  /// Poll() calls that served held/interpolated (stale) data.
+  uint64_t stale_polls = 0;
+};
+
+/// Polls a SnapshotEndpoint on the virtual timeline with per-request
+/// timeouts, bounded retries and seeded exponential backoff, and keeps the
+/// estimation seam well-behaved over a lossy link:
+///
+///  - duplicates (same snapshot timestamp) are ignored;
+///  - regressions (snapshot older than the last accepted one, or counters
+///    running backwards) are rejected, so accepted snapshot timestamps are
+///    strictly increasing — the monotone replay the invariant checkers
+///    demand;
+///  - on ticks with nothing fresh the last snapshot is held (or
+///    interpolated, per StalenessPolicy) and flagged stale;
+///  - a consecutive-failure budget flips the session to kDegraded instead
+///    of wedging it; one decodable response flips it back.
+///
+/// Concurrency audit (DESIGN.md §9-§10): thread-compatible. One client
+/// belongs to one monitor session; MonitorService computes a session on at
+/// most one pool worker per tick and the ParallelFor barrier orders ticks,
+/// so no lock is needed (the same ownership argument as the per-session
+/// ProgressInvariantChecker).
+class PollingClient {
+ public:
+  PollingClient(std::unique_ptr<SnapshotEndpoint> endpoint,
+                PollingClientOptions options = {});
+
+  /// One monitor tick at virtual time `now_ms`. Calls must use
+  /// non-decreasing times. The returned view (and its snapshot pointer) is
+  /// valid until the next Poll().
+  const ClientView& Poll(double now_ms);
+
+  /// Last view without polling again.
+  const ClientView& view() const { return view_; }
+
+  const ClientStats& stats() const { return stats_; }
+  TransportHealth health() const { return view_.health; }
+  bool complete() const { return complete_; }
+  /// Final counters once the server declared the query complete; null
+  /// before then.
+  const ProfileSnapshot* final_snapshot() const {
+    return complete_ ? &last_accepted_ : nullptr;
+  }
+  double KnownHorizonMs() const { return endpoint_->KnownHorizonMs(); }
+  const SnapshotEndpoint& endpoint() const { return *endpoint_; }
+
+ private:
+  /// Applies the duplicate/regression filter; on acceptance rotates
+  /// prev_/last_ and returns true.
+  bool MaybeAccept(ProfileSnapshot snapshot, bool query_complete);
+  void BuildView(double now_ms, bool accepted_fresh, bool link_alive);
+  void Interpolate(double now_ms);
+
+  std::unique_ptr<SnapshotEndpoint> endpoint_;
+  PollingClientOptions options_;
+  Rng jitter_rng_;
+  ClientStats stats_;
+  ClientView view_;
+
+  uint64_t next_request_id_ = 1;
+  bool have_snapshot_ = false;
+  bool have_prev_ = false;
+  ProfileSnapshot last_accepted_;
+  ProfileSnapshot prev_accepted_;
+  /// Storage the view's snapshot pointer targets under kInterpolate.
+  ProfileSnapshot interpolated_;
+  bool complete_ = false;
+  int consecutive_failures_ = 0;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_REMOTE_POLLING_CLIENT_H_

@@ -1,0 +1,545 @@
+#include "remote/wire.h"
+
+#include <cstring>
+
+#include "common/stringf.h"
+
+namespace lqs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Low-level primitives. The writer appends to a std::string; the reader is a
+// bounds-checked cursor over a string_view — every Get* returns a Status and
+// refuses to advance past the end, which is what makes the decoders total.
+// ---------------------------------------------------------------------------
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutByte(uint8_t b) { out_->push_back(static_cast<char>(b)); }
+
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutByte(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutByte(static_cast<uint8_t>(v));
+  }
+
+  void PutZigzag(int64_t v) { PutVarint(ZigzagEncode(v)); }
+
+  /// Raw IEEE-754 bit pattern, little-endian: bit-exact round trips.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      PutByte(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  void PutString(const std::string& s) {
+    PutVarint(s.size());
+    out_->append(s);
+  }
+
+ private:
+  std::string* out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Status GetByte(uint8_t* out) {
+    if (remaining() < 1) return Truncated("byte");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      LQS_RETURN_IF_ERROR(GetByte(&byte));
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        // The tenth byte may contribute at most one bit (shift 63).
+        if (shift == 63 && byte > 1) {
+          return Status::InvalidArgument("wire: varint overflows 64 bits");
+        }
+        *out = value;
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("wire: varint longer than 10 bytes");
+  }
+
+  Status GetZigzag(int64_t* out) {
+    uint64_t raw;
+    LQS_RETURN_IF_ERROR(GetVarint(&raw));
+    *out = ZigzagDecode(raw);
+    return Status::OK();
+  }
+
+  Status GetDouble(double* out) {
+    if (remaining() < 8) return Truncated("double");
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += 8;
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status GetString(std::string* out) {
+    uint64_t size;
+    LQS_RETURN_IF_ERROR(GetVarint(&size));
+    if (size > remaining()) return Truncated("string body");
+    out->assign(data_.substr(pos_, size));
+    pos_ += size;
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::OutOfRange(StringF("wire: payload truncated reading %s",
+                                      what));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+void PutFixed32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+uint32_t GetFixed32(std::string_view data, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Wraps `payload` (already appended at out->size() - payload_size) in a
+/// frame: the header is written into the reserved bytes at `header_at`.
+void FinishFrame(std::string* out, size_t header_at, WireType type) {
+  const size_t payload_size = out->size() - header_at - kWireHeaderSize;
+  std::string header;
+  header.reserve(kWireHeaderSize);
+  header.push_back(kWireMagic0);
+  header.push_back(kWireMagic1);
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(type));
+  PutFixed32(&header, static_cast<uint32_t>(payload_size));
+  PutFixed32(&header, WireCrc32(out->data() + header_at + kWireHeaderSize,
+                                payload_size));
+  out->replace(header_at, kWireHeaderSize, header);
+}
+
+size_t StartFrame(std::string* out) {
+  const size_t header_at = out->size();
+  out->append(kWireHeaderSize, '\0');  // patched by FinishFrame
+  return header_at;
+}
+
+/// Header checks shared by every decoder: magic, version, declared type,
+/// exact length, CRC. Returns the payload view on success.
+StatusOr<std::string_view> CheckFrame(std::string_view frame, WireType want) {
+  if (frame.size() < kWireHeaderSize) {
+    return Status::OutOfRange(
+        StringF("wire: frame shorter than header (%zu bytes)", frame.size()));
+  }
+  if (frame[0] != kWireMagic0 || frame[1] != kWireMagic1) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(frame[2]);
+  if (version != kWireVersion) {
+    return Status::Unimplemented(
+        StringF("wire: version %u not supported (speaking %u)", version,
+                kWireVersion));
+  }
+  const uint8_t type = static_cast<uint8_t>(frame[3]);
+  if (type != static_cast<uint8_t>(want)) {
+    return Status::InvalidArgument(
+        StringF("wire: message type %u where %u expected", type,
+                static_cast<uint8_t>(want)));
+  }
+  const uint32_t payload_size = GetFixed32(frame, 4);
+  if (frame.size() != kWireHeaderSize + payload_size) {
+    return Status::OutOfRange(
+        StringF("wire: declared payload %u bytes, frame carries %zu",
+                payload_size, frame.size() - kWireHeaderSize));
+  }
+  const std::string_view payload = frame.substr(kWireHeaderSize);
+  const uint32_t crc = GetFixed32(frame, 8);
+  if (WireCrc32(payload.data(), payload.size()) != crc) {
+    return Status::DataLoss("wire: payload CRC mismatch");
+  }
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Message bodies. Bodies are headerless so composites (trace, poll response)
+// can embed them; the public Encode*/Decode* wrap exactly one body per
+// frame.
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t kProfileFlagOpened = 1u << 0;
+constexpr uint8_t kProfileFlagClosed = 1u << 1;
+constexpr uint8_t kProfileFlagFinished = 1u << 2;
+constexpr uint8_t kProfileFlagPushedPredicate = 1u << 3;
+constexpr uint8_t kProfileFlagMask =
+    kProfileFlagOpened | kProfileFlagClosed | kProfileFlagFinished |
+    kProfileFlagPushedPredicate;
+
+constexpr uint8_t kPollFlagHasSnapshot = 1u << 0;
+constexpr uint8_t kPollFlagQueryComplete = 1u << 1;
+constexpr uint8_t kPollFlagMask = kPollFlagHasSnapshot | kPollFlagQueryComplete;
+
+void PutOperatorProfile(WireWriter* w, const OperatorProfile& op) {
+  w->PutZigzag(op.node_id);
+  w->PutZigzag(op.parent_node_id);
+  w->PutVarint(static_cast<uint64_t>(op.op_type));
+  w->PutVarint(op.row_count);
+  w->PutDouble(op.estimate_row_count);
+  w->PutVarint(op.rebind_count);
+  w->PutVarint(op.logical_read_count);
+  w->PutVarint(op.segment_read_count);
+  w->PutVarint(op.segment_total_count);
+  w->PutDouble(op.open_time_ms);
+  w->PutDouble(op.cpu_time_ms);
+  w->PutDouble(op.io_time_ms);
+  w->PutDouble(op.last_active_ms);
+  w->PutDouble(op.first_row_ms);
+  w->PutDouble(op.close_time_ms);
+  uint8_t flags = 0;
+  if (op.opened) flags |= kProfileFlagOpened;
+  if (op.closed) flags |= kProfileFlagClosed;
+  if (op.finished) flags |= kProfileFlagFinished;
+  if (op.has_pushed_predicate) flags |= kProfileFlagPushedPredicate;
+  w->PutByte(flags);
+  w->PutVarint(op.total_pages);
+}
+
+Status GetOperatorProfile(WireReader* r, OperatorProfile* op) {
+  int64_t node_id, parent_node_id;
+  LQS_RETURN_IF_ERROR(r->GetZigzag(&node_id));
+  LQS_RETURN_IF_ERROR(r->GetZigzag(&parent_node_id));
+  op->node_id = static_cast<int>(node_id);
+  op->parent_node_id = static_cast<int>(parent_node_id);
+  uint64_t op_type;
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op_type));
+  if (op_type >= static_cast<uint64_t>(OpType::kNumOpTypes)) {
+    return Status::InvalidArgument(
+        StringF("wire: operator type %llu out of range",
+                static_cast<unsigned long long>(op_type)));
+  }
+  op->op_type = static_cast<OpType>(op_type);
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->row_count));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->estimate_row_count));
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->rebind_count));
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->logical_read_count));
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->segment_read_count));
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->segment_total_count));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->open_time_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->cpu_time_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->io_time_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->last_active_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->first_row_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&op->close_time_ms));
+  uint8_t flags;
+  LQS_RETURN_IF_ERROR(r->GetByte(&flags));
+  if ((flags & ~kProfileFlagMask) != 0) {
+    return Status::InvalidArgument(
+        StringF("wire: undefined operator flag bits 0x%02x", flags));
+  }
+  op->opened = (flags & kProfileFlagOpened) != 0;
+  op->closed = (flags & kProfileFlagClosed) != 0;
+  op->finished = (flags & kProfileFlagFinished) != 0;
+  op->has_pushed_predicate = (flags & kProfileFlagPushedPredicate) != 0;
+  LQS_RETURN_IF_ERROR(r->GetVarint(&op->total_pages));
+  return Status::OK();
+}
+
+void PutSnapshotBody(WireWriter* w, const ProfileSnapshot& snapshot) {
+  w->PutDouble(snapshot.time_ms);
+  w->PutVarint(snapshot.operators.size());
+  for (const OperatorProfile& op : snapshot.operators) {
+    PutOperatorProfile(w, op);
+  }
+}
+
+Status GetSnapshotBody(WireReader* r, ProfileSnapshot* snapshot) {
+  LQS_RETURN_IF_ERROR(r->GetDouble(&snapshot->time_ms));
+  uint64_t count;
+  LQS_RETURN_IF_ERROR(r->GetVarint(&count));
+  // Each operator occupies at least one byte; a count beyond the remaining
+  // payload cannot be honest. Rejecting it here fails fast instead of
+  // looping to the truncation error (memory stays bounded either way — the
+  // vector grows only per successfully decoded operator).
+  if (count > r->remaining()) {
+    return Status::OutOfRange(
+        StringF("wire: snapshot declares %llu operators, %zu bytes left",
+                static_cast<unsigned long long>(count), r->remaining()));
+  }
+  snapshot->operators.clear();
+  snapshot->operators.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    OperatorProfile op;
+    LQS_RETURN_IF_ERROR(GetOperatorProfile(r, &op));
+    snapshot->operators.push_back(std::move(op));
+  }
+  return Status::OK();
+}
+
+Status RequireExhausted(const WireReader& r) {
+  if (!r.exhausted()) {
+    return Status::InvalidArgument(
+        StringF("wire: %zu trailing payload bytes", r.remaining()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t WireCrc32(const void* data, size_t size) {
+  // IEEE 802.3 reflected CRC-32, table built once (thread-safe static init).
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+PlanSummary PlanSummary::FromPlan(const Plan& plan) {
+  PlanSummary summary;
+  summary.nodes.resize(static_cast<size_t>(plan.size()));
+  plan.root->Visit([&summary](const PlanNode& node) {
+    PlanSummaryNode& out = summary.nodes[static_cast<size_t>(node.id)];
+    out.node_id = node.id;
+    out.op_type = node.type;
+    out.est_rows = node.est_rows;
+    out.est_cpu_ms = node.est_cpu_ms;
+    out.est_io_ms = node.est_io_ms;
+    out.est_rebinds = node.est_rebinds;
+    out.table_name = node.table_name;
+    for (const auto& child : node.children) {
+      summary.nodes[static_cast<size_t>(child->id)].parent_node_id = node.id;
+    }
+  });
+  return summary;
+}
+
+void EncodeSnapshot(const ProfileSnapshot& snapshot, std::string* out) {
+  const size_t header_at = StartFrame(out);
+  WireWriter w(out);
+  PutSnapshotBody(&w, snapshot);
+  FinishFrame(out, header_at, WireType::kSnapshot);
+}
+
+void EncodeTrace(const ProfileTrace& trace, std::string* out) {
+  const size_t header_at = StartFrame(out);
+  WireWriter w(out);
+  w.PutVarint(trace.snapshots.size());
+  for (const ProfileSnapshot& snapshot : trace.snapshots) {
+    PutSnapshotBody(&w, snapshot);
+  }
+  PutSnapshotBody(&w, trace.final_snapshot);
+  w.PutDouble(trace.total_elapsed_ms);
+  FinishFrame(out, header_at, WireType::kTrace);
+}
+
+void EncodePlanSummary(const PlanSummary& summary, std::string* out) {
+  const size_t header_at = StartFrame(out);
+  WireWriter w(out);
+  w.PutVarint(summary.nodes.size());
+  for (const PlanSummaryNode& node : summary.nodes) {
+    w.PutZigzag(node.node_id);
+    w.PutZigzag(node.parent_node_id);
+    w.PutVarint(static_cast<uint64_t>(node.op_type));
+    w.PutDouble(node.est_rows);
+    w.PutDouble(node.est_cpu_ms);
+    w.PutDouble(node.est_io_ms);
+    w.PutDouble(node.est_rebinds);
+    w.PutString(node.table_name);
+  }
+  FinishFrame(out, header_at, WireType::kPlanSummary);
+}
+
+void EncodePollResponse(const PollResponse& response, std::string* out) {
+  const size_t header_at = StartFrame(out);
+  WireWriter w(out);
+  w.PutVarint(response.request_id);
+  uint8_t flags = 0;
+  if (response.has_snapshot) flags |= kPollFlagHasSnapshot;
+  if (response.query_complete) flags |= kPollFlagQueryComplete;
+  w.PutByte(flags);
+  if (response.has_snapshot) PutSnapshotBody(&w, response.snapshot);
+  FinishFrame(out, header_at, WireType::kPollResponse);
+}
+
+StatusOr<size_t> WireFrameSize(std::string_view buffer) {
+  if (buffer.size() < kWireHeaderSize) {
+    return Status::OutOfRange(
+        StringF("wire: buffer shorter than frame header (%zu bytes)",
+                buffer.size()));
+  }
+  if (buffer[0] != kWireMagic0 || buffer[1] != kWireMagic1) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  if (static_cast<uint8_t>(buffer[2]) != kWireVersion) {
+    return Status::Unimplemented(
+        StringF("wire: version %u not supported (speaking %u)",
+                static_cast<uint8_t>(buffer[2]), kWireVersion));
+  }
+  const size_t total = kWireHeaderSize + GetFixed32(buffer, 4);
+  if (total > buffer.size()) {
+    return Status::OutOfRange(
+        StringF("wire: frame of %zu bytes, buffer holds %zu", total,
+                buffer.size()));
+  }
+  return total;
+}
+
+StatusOr<WireType> WireFrameType(std::string_view frame) {
+  LQS_RETURN_IF_ERROR(WireFrameSize(frame).status());
+  const uint8_t type = static_cast<uint8_t>(frame[3]);
+  if (type < static_cast<uint8_t>(WireType::kPlanSummary) ||
+      type > static_cast<uint8_t>(WireType::kPollResponse)) {
+    return Status::InvalidArgument(
+        StringF("wire: unknown message type %u", type));
+  }
+  return static_cast<WireType>(type);
+}
+
+StatusOr<ProfileSnapshot> DecodeSnapshot(std::string_view frame) {
+  std::string_view payload;
+  LQS_ASSIGN_OR_RETURN(payload, CheckFrame(frame, WireType::kSnapshot));
+  WireReader r(payload);
+  ProfileSnapshot snapshot;
+  LQS_RETURN_IF_ERROR(GetSnapshotBody(&r, &snapshot));
+  LQS_RETURN_IF_ERROR(RequireExhausted(r));
+  return snapshot;
+}
+
+StatusOr<ProfileTrace> DecodeTrace(std::string_view frame) {
+  std::string_view payload;
+  LQS_ASSIGN_OR_RETURN(payload, CheckFrame(frame, WireType::kTrace));
+  WireReader r(payload);
+  ProfileTrace trace;
+  uint64_t count;
+  LQS_RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::OutOfRange(
+        StringF("wire: trace declares %llu snapshots, %zu bytes left",
+                static_cast<unsigned long long>(count), r.remaining()));
+  }
+  trace.snapshots.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ProfileSnapshot snapshot;
+    LQS_RETURN_IF_ERROR(GetSnapshotBody(&r, &snapshot));
+    trace.snapshots.push_back(std::move(snapshot));
+  }
+  LQS_RETURN_IF_ERROR(GetSnapshotBody(&r, &trace.final_snapshot));
+  LQS_RETURN_IF_ERROR(r.GetDouble(&trace.total_elapsed_ms));
+  LQS_RETURN_IF_ERROR(RequireExhausted(r));
+  return trace;
+}
+
+StatusOr<PlanSummary> DecodePlanSummary(std::string_view frame) {
+  std::string_view payload;
+  LQS_ASSIGN_OR_RETURN(payload, CheckFrame(frame, WireType::kPlanSummary));
+  WireReader r(payload);
+  PlanSummary summary;
+  uint64_t count;
+  LQS_RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > r.remaining()) {
+    return Status::OutOfRange(
+        StringF("wire: plan summary declares %llu nodes, %zu bytes left",
+                static_cast<unsigned long long>(count), r.remaining()));
+  }
+  summary.nodes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PlanSummaryNode node;
+    int64_t node_id, parent_node_id;
+    LQS_RETURN_IF_ERROR(r.GetZigzag(&node_id));
+    LQS_RETURN_IF_ERROR(r.GetZigzag(&parent_node_id));
+    node.node_id = static_cast<int>(node_id);
+    node.parent_node_id = static_cast<int>(parent_node_id);
+    uint64_t op_type;
+    LQS_RETURN_IF_ERROR(r.GetVarint(&op_type));
+    if (op_type >= static_cast<uint64_t>(OpType::kNumOpTypes)) {
+      return Status::InvalidArgument(
+          StringF("wire: operator type %llu out of range",
+                  static_cast<unsigned long long>(op_type)));
+    }
+    node.op_type = static_cast<OpType>(op_type);
+    LQS_RETURN_IF_ERROR(r.GetDouble(&node.est_rows));
+    LQS_RETURN_IF_ERROR(r.GetDouble(&node.est_cpu_ms));
+    LQS_RETURN_IF_ERROR(r.GetDouble(&node.est_io_ms));
+    LQS_RETURN_IF_ERROR(r.GetDouble(&node.est_rebinds));
+    LQS_RETURN_IF_ERROR(r.GetString(&node.table_name));
+    summary.nodes.push_back(std::move(node));
+  }
+  LQS_RETURN_IF_ERROR(RequireExhausted(r));
+  return summary;
+}
+
+StatusOr<PollResponse> DecodePollResponse(std::string_view frame) {
+  std::string_view payload;
+  LQS_ASSIGN_OR_RETURN(payload, CheckFrame(frame, WireType::kPollResponse));
+  WireReader r(payload);
+  PollResponse response;
+  LQS_RETURN_IF_ERROR(r.GetVarint(&response.request_id));
+  uint8_t flags;
+  LQS_RETURN_IF_ERROR(r.GetByte(&flags));
+  if ((flags & ~kPollFlagMask) != 0) {
+    return Status::InvalidArgument(
+        StringF("wire: undefined poll flag bits 0x%02x", flags));
+  }
+  response.has_snapshot = (flags & kPollFlagHasSnapshot) != 0;
+  response.query_complete = (flags & kPollFlagQueryComplete) != 0;
+  if (response.has_snapshot) {
+    LQS_RETURN_IF_ERROR(GetSnapshotBody(&r, &response.snapshot));
+  }
+  LQS_RETURN_IF_ERROR(RequireExhausted(r));
+  return response;
+}
+
+}  // namespace lqs

@@ -1,0 +1,114 @@
+#ifndef LQS_REMOTE_WIRE_H_
+#define LQS_REMOTE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+
+namespace lqs {
+
+/// Versioned, compact binary wire format for shipping DMV state across a
+/// network hop (DESIGN.md §10). The paper's LQS is a client-side estimator:
+/// SSMS polls sys.dm_exec_query_profiles over a TDS connection every 500 ms
+/// (§2.1-2.2). The in-process substrate modelled that hop as a pointer read;
+/// everything in this header makes the hop explicit — bytes that can be
+/// late, lost, duplicated or damaged in flight.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset 0   'L' 'Q'          magic
+///   offset 2   version          kWireVersion
+///   offset 3   message type     WireType
+///   offset 4   payload length   uint32
+///   offset 8   payload CRC32    uint32 (IEEE, reflected)
+///   offset 12  payload          `payload length` bytes
+///
+/// The length prefix makes frames self-delimiting on a byte stream
+/// (WireFrameSize splits a concatenation); the CRC rejects damaged payloads
+/// before any field is interpreted. Payloads use varint (LEB128) for
+/// counters, zigzag varints for signed ids, and raw IEEE-754 bit patterns
+/// for doubles, so decode→re-encode is byte-identical (virtual timestamps
+/// round-trip bit-exactly).
+///
+/// Every decoder is total: malformed input of any shape — truncated, bit
+/// flipped, wrong magic/version/type, trailing bytes, overlong varints,
+/// out-of-range enum values — returns a non-OK Status. Decoders never read
+/// out of bounds and never abort.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderSize = 12;
+inline constexpr char kWireMagic0 = 'L';
+inline constexpr char kWireMagic1 = 'Q';
+
+/// Message type carried in the frame header.
+enum class WireType : uint8_t {
+  kPlanSummary = 1,
+  kSnapshot = 2,
+  kTrace = 3,
+  kPollResponse = 4,
+};
+
+/// CRC32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) of `size` bytes.
+uint32_t WireCrc32(const void* data, size_t size);
+
+/// The showplan digest a remote monitor needs to label what it renders:
+/// tree shape plus the optimizer annotations the estimator consumes (§2.2).
+/// Expression payloads deliberately stay server-side.
+struct PlanSummaryNode {
+  int node_id = -1;
+  int parent_node_id = -1;
+  OpType op_type = OpType::kTableScan;
+  double est_rows = 0;
+  double est_cpu_ms = 0;
+  double est_io_ms = 0;
+  double est_rebinds = 0;
+  std::string table_name;
+};
+
+struct PlanSummary {
+  std::vector<PlanSummaryNode> nodes;  // pre-order, indexed by node_id
+
+  /// Digests a finalized plan (ids dense pre-order, FinalizePlan contract).
+  static PlanSummary FromPlan(const Plan& plan);
+};
+
+/// One poll answer from a SnapshotEndpoint: the freshest snapshot the server
+/// holds, or "nothing yet" for a query that has not produced one.
+/// `query_complete` marks the snapshot as the final one — counters are
+/// final, the query is done.
+struct PollResponse {
+  uint64_t request_id = 0;
+  bool has_snapshot = false;
+  bool query_complete = false;
+  ProfileSnapshot snapshot;  ///< meaningful only when has_snapshot
+};
+
+/// Encoders append exactly one complete frame to `*out` (existing content is
+/// preserved, so frames can be concatenated onto one stream buffer).
+void EncodeSnapshot(const ProfileSnapshot& snapshot, std::string* out);
+void EncodeTrace(const ProfileTrace& trace, std::string* out);
+void EncodePlanSummary(const PlanSummary& summary, std::string* out);
+void EncodePollResponse(const PollResponse& response, std::string* out);
+
+/// Total size (header + payload) of the frame starting at `buffer[0]`, for
+/// splitting a stream of concatenated frames. Validates magic, version and
+/// that the declared payload fits in the buffer.
+StatusOr<size_t> WireFrameSize(std::string_view buffer);
+
+/// Message type of a frame whose header is intact (payload not inspected).
+StatusOr<WireType> WireFrameType(std::string_view frame);
+
+/// Decoders require `frame` to be exactly one well-formed frame of the
+/// matching type: header checks, CRC check, full payload consumption.
+StatusOr<ProfileSnapshot> DecodeSnapshot(std::string_view frame);
+StatusOr<ProfileTrace> DecodeTrace(std::string_view frame);
+StatusOr<PlanSummary> DecodePlanSummary(std::string_view frame);
+StatusOr<PollResponse> DecodePollResponse(std::string_view frame);
+
+}  // namespace lqs
+
+#endif  // LQS_REMOTE_WIRE_H_

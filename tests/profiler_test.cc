@@ -10,6 +10,7 @@
 //  - Estimate replay is order-independent, as estimator.h promises.
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -135,6 +136,63 @@ TEST_F(ProfilerTest, SnapshotAtOrBeforeMatchesLinearRescan) {
   ProfileTrace empty;
   EXPECT_EQ(empty.SnapshotAtOrBefore(0.0), nullptr);
   EXPECT_EQ(empty.SnapshotAtOrBefore(1e9), nullptr);
+}
+
+TEST_F(ProfilerTest, InvalidSnapshotIntervalIsRejected) {
+  // Regression: interval_ms <= 0 degenerated MaybePoll's grid catch-up loop
+  // into a spin, and NaN silently disabled polling. Both the validating
+  // factory and the executor entry point must reject such intervals.
+  EXPECT_OK(Profiler::ValidateIntervalMs(500.0));
+  EXPECT_OK(Profiler::ValidateIntervalMs(1e-3));
+  for (double bad : {0.0, -1.0, -500.0,
+                     std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    Status status = Profiler::ValidateIntervalMs(bad);
+    EXPECT_FALSE(status.ok()) << "interval " << bad << " accepted";
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+    EXPECT_FALSE(Profiler::Create(&live_, bad).ok());
+  }
+  ASSERT_TRUE(Profiler::Create(&live_, 500.0).ok());
+
+  Plan plan = Annotated(Scan("t_small"));
+  for (double bad : {0.0, -2.0, std::numeric_limits<double>::quiet_NaN()}) {
+    ExecOptions exec;
+    exec.snapshot_interval_ms = bad;
+    auto result = ExecuteQuery(plan, catalog_.get(), exec);
+    ASSERT_FALSE(result.ok()) << "interval " << bad << " executed";
+    EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST_F(ProfilerTest, SnapshotAtOrBeforeBeforeFirstSnapshotIsNull) {
+  // Hand-built trace with a known first sample: probes strictly earlier
+  // must return null — a monitor polling before the first DMV sample has
+  // genuinely nothing to show, not "the first sample early".
+  ProfileTrace trace;
+  for (double t : {10.0, 20.0, 30.0}) {
+    trace.snapshots.push_back(ProfileSnapshot{t, live_});
+  }
+  EXPECT_EQ(trace.SnapshotAtOrBefore(-5.0), nullptr);
+  EXPECT_EQ(trace.SnapshotAtOrBefore(0.0), nullptr);
+  EXPECT_EQ(trace.SnapshotAtOrBefore(10.0 - 1e-9), nullptr);
+}
+
+TEST_F(ProfilerTest, SnapshotAtOrBeforeOnBoundaryReturnsThatSnapshot) {
+  // "At or before" includes "at": a probe landing exactly on a snapshot
+  // time returns that snapshot, not its predecessor.
+  ProfileTrace trace;
+  for (double t : {10.0, 20.0, 30.0}) {
+    trace.snapshots.push_back(ProfileSnapshot{t, live_});
+  }
+  for (size_t i = 0; i < trace.snapshots.size(); ++i) {
+    const ProfileSnapshot* hit =
+        trace.SnapshotAtOrBefore(trace.snapshots[i].time_ms);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit, &trace.snapshots[i]) << "boundary " << i;
+  }
+  // Between boundaries the earlier snapshot wins; past the last, the last.
+  EXPECT_EQ(trace.SnapshotAtOrBefore(15.0), &trace.snapshots[0]);
+  EXPECT_EQ(trace.SnapshotAtOrBefore(1e9), &trace.snapshots[2]);
 }
 
 TEST_F(ProfilerTest, EstimateReplayIsOrderIndependent) {

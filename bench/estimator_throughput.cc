@@ -1,0 +1,277 @@
+// Estimator-throughput benchmark: fresh-allocation vs workspace-reusing
+// estimation over whole recorded traces, at 1 / 8 / 64 concurrent sessions,
+// on TPC-H + TPC-DS plans under all four §5 presets.
+//
+// Both modes run in one invocation over the identical snapshot schedule:
+//
+//  - "fresh": ProgressEstimator with incremental=false, one Estimate() per
+//    snapshot — the paper's stateless §2.2 client, which reallocates every
+//    intermediate vector and re-derives every snapshot-independent quantity
+//    (catalog lookups, Appendix A coefficients, §4.6 weight terms) per poll.
+//  - "reuse": incremental=true estimators, one Workspace per session,
+//    EstimateInto() — the zero-allocation engine with hoisted plan analysis
+//    and finished-operator short-circuits.
+//
+// Reports are bit-identical across the two modes (also enforced by
+// tests/estimator_workspace_test.cc); this bench cross-checks
+// query_progress on every single estimate and fails on any mismatch.
+//
+//   $ ./build/bench/estimator_throughput
+//
+// All non-"BENCH " lines are deterministic; the trailing "BENCH {...}" JSON
+// lines carry the wall-clock measurements (estimates/sec per cell, overall
+// speedup, and a monitor-layer reports/sec pair).
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stringf.h"
+#include "exec/executor.h"
+#include "lqs/estimator.h"
+#include "monitor/monitor_service.h"
+#include "workload/workload.h"
+
+using namespace lqs;         // NOLINT: bench code
+using namespace lqs::bench;  // NOLINT
+
+namespace {
+
+struct Executed {
+  const WorkloadQuery* query;
+  const Catalog* catalog;
+  ExecutionResult result;
+};
+
+double NowWallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One registered replay session: a trace plus its estimation state.
+struct ReplaySession {
+  const Executed* executed = nullptr;
+  const ProgressEstimator* estimator = nullptr;
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
+};
+
+struct CellResult {
+  uint64_t estimates = 0;
+  double wall_ms = 0;
+  double progress_sum = 0;  ///< Σ query_progress — deterministic checksum
+  uint64_t alpha_freezes = 0;
+  uint64_t weight_cache_hits = 0;
+};
+
+/// How many times each cell replays its full snapshot schedule: the
+/// 1-session cells cover only a few dozen estimates per pass, far too few
+/// for a stable wall-clock read. Reps keep the schedule identical across
+/// the two modes, so the progress-sum cross-check still holds exactly.
+constexpr int kReps = 5;
+
+/// Replays every session's full trace, interleaved round-robin across
+/// sessions the way a monitor tick would, in one of the two modes.
+CellResult RunCell(std::vector<ReplaySession>* sessions, bool reuse) {
+  CellResult cell;
+  size_t max_len = 0;
+  for (const ReplaySession& s : *sessions) {
+    max_len = std::max(max_len, s.executed->result.trace.snapshots.size());
+  }
+  const double start = NowWallMs();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (size_t t = 0; t < max_len; ++t) {
+      for (ReplaySession& s : *sessions) {
+        const auto& snaps = s.executed->result.trace.snapshots;
+        if (t >= snaps.size()) continue;
+        if (reuse) {
+          s.estimator->EstimateInto(snaps[t], &s.workspace, &s.report);
+        } else {
+          s.report = s.estimator->Estimate(snaps[t]);
+        }
+        cell.progress_sum += s.report.query_progress;
+        ++cell.estimates;
+      }
+    }
+  }
+  cell.wall_ms = NowWallMs() - start;
+  for (const ReplaySession& s : *sessions) {
+    cell.alpha_freezes += s.workspace.stats.alpha_freezes;
+    cell.weight_cache_hits += s.workspace.stats.weight_cache_hits;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  TpcdsOptions ds;
+  ds.scale = 0.2;
+  auto wds = MakeTpcdsWorkload(ds);
+  TpchOptions h;
+  h.scale = 0.2;
+  auto wh = MakeTpchWorkload(h);
+  if (!wds.ok() || !wh.ok()) {
+    std::fprintf(stderr, "workload construction failed\n");
+    return 1;
+  }
+  OptimizerOptions oo;
+  oo.selectivity_error = kBenchSelectivityError;
+  if (!AnnotateWorkload(&wds.value(), oo).ok() ||
+      !AnnotateWorkload(&wh.value(), oo).ok()) {
+    return 1;
+  }
+  ExecOptions exec;
+  exec.snapshot_interval_ms = kBenchSnapshotIntervalMs;
+  std::vector<Executed> executed;
+  for (Workload* w : {&wds.value(), &wh.value()}) {
+    for (const WorkloadQuery& q : w->queries) {
+      auto result = ExecuteQuery(q.plan, w->catalog.get(), exec);
+      if (!result.ok()) continue;
+      executed.push_back(
+          Executed{&q, w->catalog.get(), std::move(result).value()});
+    }
+  }
+  if (executed.empty()) {
+    std::fprintf(stderr, "no queries executed\n");
+    return 1;
+  }
+
+  const std::vector<EstimatorConfig> presets = {
+      {"tgn", EstimatorOptions::TotalGetNext()},
+      {"bounding", EstimatorOptions::BoundingOnly()},
+      {"refined", EstimatorOptions::DriverNodeRefined()},
+      {"lqs", EstimatorOptions::Lqs()},
+  };
+  const std::vector<size_t> session_counts = {1, 8, 64};
+
+  // Estimators cached per (plan, mode) within a preset, like the monitor's
+  // cache: many sessions of the same query share one const estimator, each
+  // owning its workspace.
+  double total_fresh_ms = 0;
+  double total_reuse_ms = 0;
+  uint64_t mismatched_cells = 0;
+  std::string bench_lines;
+  for (const EstimatorConfig& preset : presets) {
+    for (size_t num_sessions : session_counts) {
+      EstimatorOptions fresh_options = preset.options;
+      fresh_options.incremental = false;
+      EstimatorOptions reuse_options = preset.options;
+      reuse_options.incremental = true;
+      std::map<const Plan*, std::unique_ptr<ProgressEstimator>> fresh_cache;
+      std::map<const Plan*, std::unique_ptr<ProgressEstimator>> reuse_cache;
+      std::vector<ReplaySession> fresh_sessions(num_sessions);
+      std::vector<ReplaySession> reuse_sessions(num_sessions);
+      for (size_t i = 0; i < num_sessions; ++i) {
+        const Executed& e = executed[i % executed.size()];
+        auto& fresh = fresh_cache[&e.query->plan];
+        if (fresh == nullptr) {
+          fresh = std::make_unique<ProgressEstimator>(
+              &e.query->plan, e.catalog, fresh_options);
+        }
+        auto& reused = reuse_cache[&e.query->plan];
+        if (reused == nullptr) {
+          reused = std::make_unique<ProgressEstimator>(
+              &e.query->plan, e.catalog, reuse_options);
+        }
+        fresh_sessions[i].executed = &e;
+        fresh_sessions[i].estimator = fresh.get();
+        reuse_sessions[i].executed = &e;
+        reuse_sessions[i].estimator = reused.get();
+      }
+
+      const CellResult fresh = RunCell(&fresh_sessions, /*reuse=*/false);
+      const CellResult reuse = RunCell(&reuse_sessions, /*reuse=*/true);
+      total_fresh_ms += fresh.wall_ms;
+      total_reuse_ms += reuse.wall_ms;
+      // Bit-identity cross-check: identical schedule, so the progress sums
+      // must be exactly equal (sums of identical doubles in identical
+      // order). Compare representations to satisfy the no-float-== rule.
+      const bool identical =
+          StringF("%.17g", fresh.progress_sum) ==
+          StringF("%.17g", reuse.progress_sum);
+      if (!identical) ++mismatched_cells;
+      std::printf("preset=%-8s sessions=%2zu estimates=%6llu "
+                  "progress_sum=%.6f identical=%s\n",
+                  preset.name.c_str(), num_sessions,
+                  static_cast<unsigned long long>(reuse.estimates),
+                  reuse.progress_sum, identical ? "yes" : "NO");
+      const double fresh_rate =
+          fresh.wall_ms > 0
+              ? static_cast<double>(fresh.estimates) / (fresh.wall_ms / 1e3)
+              : 0;
+      const double reuse_rate =
+          reuse.wall_ms > 0
+              ? static_cast<double>(reuse.estimates) / (reuse.wall_ms / 1e3)
+              : 0;
+      bench_lines += StringF(
+          "BENCH {\"bench\":\"estimator_throughput\",\"preset\":\"%s\","
+          "\"sessions\":%zu,\"estimates\":%llu,"
+          "\"estimates_per_sec_fresh\":%.0f,"
+          "\"estimates_per_sec_reuse\":%.0f,\"speedup\":%.2f,"
+          "\"alpha_freezes\":%llu,\"weight_cache_hits\":%llu,"
+          "\"identical\":%s}\n",
+          preset.name.c_str(), num_sessions,
+          static_cast<unsigned long long>(reuse.estimates), fresh_rate,
+          reuse_rate, fresh_rate > 0 ? reuse_rate / fresh_rate : 0,
+          static_cast<unsigned long long>(reuse.alpha_freezes),
+          static_cast<unsigned long long>(reuse.weight_cache_hits),
+          identical ? "true" : "false");
+    }
+  }
+
+  // Monitor-layer pair: the same 64-session monitor run with incremental
+  // estimation on vs off — reports/sec includes checker + fan-out cost.
+  double monitor_rates[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool reuse = mode == 1;
+    EstimatorOptions options = EstimatorOptions::Lqs();
+    options.incremental = reuse;
+    MonitorOptions mo;
+    mo.ticks_per_horizon = 24;
+    MonitorService monitor(mo);
+    double offset = 0;
+    for (size_t i = 0; i < 64; ++i) {
+      const Executed& e = executed[i % executed.size()];
+      monitor.RegisterSession(StringF("s%03zu:%s", i, e.query->name.c_str()),
+                              &e.query->plan, e.catalog, &e.result.trace,
+                              offset, options);
+      offset += 11.0;
+    }
+    monitor.RunToCompletion({});
+    ValidationReport invariants = monitor.FinalCheck();
+    if (!invariants.ok()) {
+      std::fprintf(stderr, "%s", invariants.ToString().c_str());
+      return 1;
+    }
+    monitor_rates[mode] = monitor.stats().estimates_per_sec;
+  }
+  bench_lines += StringF(
+      "BENCH {\"bench\":\"estimator_throughput_monitor\",\"sessions\":64,"
+      "\"estimates_per_sec_fresh\":%.0f,\"estimates_per_sec_reuse\":%.0f,"
+      "\"speedup\":%.2f}\n",
+      monitor_rates[0], monitor_rates[1],
+      monitor_rates[0] > 0 ? monitor_rates[1] / monitor_rates[0] : 0);
+
+  const double overall =
+      total_reuse_ms > 0 ? total_fresh_ms / total_reuse_ms : 0;
+  bench_lines += StringF(
+      "BENCH {\"bench\":\"estimator_throughput\",\"preset\":\"all\","
+      "\"sessions\":0,\"fresh_wall_ms\":%.1f,\"reuse_wall_ms\":%.1f,"
+      "\"overall_speedup\":%.2f,\"mismatched_cells\":%llu}\n",
+      total_fresh_ms, total_reuse_ms, overall,
+      static_cast<unsigned long long>(mismatched_cells));
+  std::fputs(bench_lines.c_str(), stdout);
+  if (mismatched_cells > 0) {
+    std::fprintf(stderr,
+                 "FAIL: fresh and reuse reports diverged in %llu cells\n",
+                 static_cast<unsigned long long>(mismatched_cells));
+    return 1;
+  }
+  return 0;
+}

@@ -74,12 +74,17 @@ int main() {
   int n = 0;
   const auto& snaps = result->trace.snapshots;
   const size_t stride = std::max<size_t>(1, snaps.size() / 20);
+  ProgressEstimator::Workspace ws_io;
+  ProgressEstimator::Workspace ws_rows;
+  ProgressReport report;
   for (size_t i = 0; i < snaps.size(); ++i) {
     const auto& s = snaps[i];
     if (s.time_ms < t0 || s.time_ms > t1 || t1 <= t0) continue;
     const double true_frac = (s.time_ms - t0) / (t1 - t0);
-    const double p_io = est_io.Estimate(s).operator_progress[scan_id];
-    const double p_rows = est_rows.Estimate(s).operator_progress[scan_id];
+    est_io.EstimateInto(s, &ws_io, &report);
+    const double p_io = report.operator_progress[scan_id];
+    est_rows.EstimateInto(s, &ws_rows, &report);
+    const double p_rows = report.operator_progress[scan_id];
     err_io += std::abs(p_io - true_frac);
     err_rows += std::abs(p_rows - true_frac);
     n++;

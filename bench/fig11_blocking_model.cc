@@ -59,12 +59,17 @@ int main() {
   int n = 0;
   const auto& snaps = result->trace.snapshots;
   const size_t stride = std::max<size_t>(1, snaps.size() / 24);
+  ProgressEstimator::Workspace ws_out;
+  ProgressEstimator::Workspace ws_two;
+  ProgressReport report;
   for (size_t i = 0; i < snaps.size(); ++i) {
     const auto& s = snaps[i];
     if (s.time_ms < t0 || s.time_ms > t1 || t1 <= t0) continue;
     double true_frac = (s.time_ms - t0) / (t1 - t0);
-    double p_out = est_out.Estimate(s).operator_progress[agg_node];
-    double p_two = est_two.Estimate(s).operator_progress[agg_node];
+    est_out.EstimateInto(s, &ws_out, &report);
+    double p_out = report.operator_progress[agg_node];
+    est_two.EstimateInto(s, &ws_two, &report);
+    double p_two = report.operator_progress[agg_node];
     curve_out.push_back(p_out);
     curve_two.push_back(p_two);
     err_out += std::abs(p_out - true_frac);

@@ -55,6 +55,23 @@ void BM_EstimateFullLqs(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateFullLqs);
 
+// The allocation-free path: same estimate as BM_EstimateFullLqs through a
+// reused Workspace + report. The delta against BM_EstimateFullLqs is what
+// per-call allocation plus the forgone incremental short-circuits cost;
+// bench/estimator_throughput measures the same split over whole traces.
+void BM_EstimateIntoReused(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  ProgressEstimator est(f.plan, f.workload.catalog.get(),
+                        EstimatorOptions::Lqs());
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
+  for (auto _ : state) {
+    est.EstimateInto(f.snapshot, &workspace, &report);
+    benchmark::DoNotOptimize(report.query_progress);
+  }
+}
+BENCHMARK(BM_EstimateIntoReused);
+
 // Same per-snapshot work as BM_EstimateFullLqs but routed through the
 // runtime invariant checker with its default (cheap) options — the delta
 // between the two is the cost of leaving the checker on in production

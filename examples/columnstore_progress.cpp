@@ -56,8 +56,10 @@ bool RunOne(Workload& w, bool columnstore) {
   const auto& snaps = result->trace.snapshots;
   const size_t stride = std::max<size_t>(1, snaps.size() / 8);
   const int scan_id = 1;  // 0 = agg, 1 = scan
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
   for (size_t i = 0; i < snaps.size(); i += stride) {
-    ProgressReport report = checker.EstimateChecked(snaps[i]);
+    checker.EstimateCheckedInto(snaps[i], &workspace, &report);
     const auto& prof = snaps[i].operators[scan_id];
     std::printf("%10.1f %9.1f%% %12llu %8llu/%-3llu %12llu\n",
                 snaps[i].time_ms, 100 * report.operator_progress[scan_id],

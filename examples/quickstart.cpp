@@ -87,8 +87,12 @@ int main() {
   std::printf("%10s %10s | per-operator progress\n", "time(ms)", "query");
   const auto& snaps = result->trace.snapshots;
   const size_t stride = std::max<size_t>(1, snaps.size() / 12);
+  // Workspace + report reused across the polling loop (the allocation-free
+  // replay pattern; see the Workspace contract in lqs/estimator.h).
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
   for (size_t i = 0; i < snaps.size(); i += stride) {
-    ProgressReport report = checker.EstimateChecked(snaps[i]);
+    checker.EstimateCheckedInto(snaps[i], &workspace, &report);
     std::printf("%10.1f %9.1f%% |", snaps[i].time_ms,
                 100 * report.query_progress);
     for (int node = 0; node < plan.size(); ++node) {

@@ -1,47 +1,59 @@
 #!/usr/bin/env bash
-# Remote-transport benchmark runner: builds Release, runs the wire-format
-# throughput bench and the 64-session monitor scale bench, and collects
-# their trailing "BENCH {...}" JSON lines into one JSON array.
+# Benchmark runner: builds Release, runs the estimator-throughput bench, the
+# wire-format throughput bench, and the 64-session monitor scale bench, and
+# collects each family's trailing "BENCH {...}" JSON lines into one JSON
+# array per family.
 #
 #   $ scripts/bench.sh
 #
-# Output: BENCH_remote.json in the repo root (override with BENCH_OUT).
-# Build directory: build-bench (override with BENCH_BUILD_DIR). CI runs this
-# as a non-gating artifact step — numbers are tracked, not asserted.
+# Output: BENCH_estimator.json and BENCH_remote.json in the repo root
+# (override the directory with BENCH_OUT_DIR). Build directory: build-bench
+# (override with BENCH_BUILD_DIR). CI runs this as a non-gating artifact
+# step — numbers are tracked, not asserted — but estimator_throughput itself
+# exits non-zero if the fresh and workspace-reusing modes ever diverge, and
+# that failure does gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
-OUT="${BENCH_OUT:-BENCH_remote.json}"
+OUT_DIR="${BENCH_OUT_DIR:-.}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target wire_throughput monitor_scale
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target estimator_throughput wire_throughput monitor_scale
 
-benches=(
-  "$BUILD_DIR/bench/wire_throughput"
-  "$BUILD_DIR/bench/monitor_scale --threads=8 --sessions=64"
-)
-
-lines=()
-for bench in "${benches[@]}"; do
-  echo "== $bench"
-  # shellcheck disable=SC2086  # intentional word splitting for the args
-  output="$(./$bench)"
-  echo "$output" | grep -v '^BENCH '
-  while IFS= read -r line; do
-    lines+=("${line#BENCH }")
-  done < <(echo "$output" | grep '^BENCH ')
-done
-
-{
-  echo '['
-  for i in "${!lines[@]}"; do
-    if [ "$i" -lt $((${#lines[@]} - 1)) ]; then
-      echo "  ${lines[$i]},"
-    else
-      echo "  ${lines[$i]}"
-    fi
+# run_family OUT_FILE BENCH...: runs each bench command, echoes its
+# deterministic lines, and writes the "BENCH {...}" payloads to OUT_FILE.
+run_family() {
+  local out="$1"
+  shift
+  local lines=()
+  for bench in "$@"; do
+    echo "== $bench"
+    # shellcheck disable=SC2086  # intentional word splitting for the args
+    output="$(./$bench)"
+    echo "$output" | grep -v '^BENCH '
+    while IFS= read -r line; do
+      lines+=("${line#BENCH }")
+    done < <(echo "$output" | grep '^BENCH ')
   done
-  echo ']'
-} > "$OUT"
-echo "wrote $OUT (${#lines[@]} bench results)"
+  {
+    echo '['
+    for i in "${!lines[@]}"; do
+      if [ "$i" -lt $((${#lines[@]} - 1)) ]; then
+        echo "  ${lines[$i]},"
+      else
+        echo "  ${lines[$i]}"
+      fi
+    done
+    echo ']'
+  } > "$out"
+  echo "wrote $out (${#lines[@]} bench results)"
+}
+
+run_family "$OUT_DIR/BENCH_estimator.json" \
+  "$BUILD_DIR/bench/estimator_throughput"
+
+run_family "$OUT_DIR/BENCH_remote.json" \
+  "$BUILD_DIR/bench/wire_throughput" \
+  "$BUILD_DIR/bench/monitor_scale --threads=8 --sessions=64"

@@ -46,6 +46,13 @@ ProgressReport ProgressInvariantChecker::EstimateChecked(
   return report;
 }
 
+void ProgressInvariantChecker::EstimateCheckedInto(
+    const ProfileSnapshot& snapshot, ProgressEstimator::Workspace* workspace,
+    ProgressReport* report) {
+  estimator_->EstimateInto(snapshot, workspace, report);
+  CheckReport(snapshot, *report);
+}
+
 void ProgressInvariantChecker::CheckReport(const ProfileSnapshot& snapshot,
                                            const ProgressReport& report) {
   // Fast path: one branch-light pass accumulating validity as arithmetic.

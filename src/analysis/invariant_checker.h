@@ -61,6 +61,15 @@ class ProgressInvariantChecker {
   /// monotonicity check to be meaningful.
   ProgressReport EstimateChecked(const ProfileSnapshot& snapshot);
 
+  /// Allocation-free form of EstimateChecked: estimates into `*report`
+  /// through the estimator's workspace-reusing path, then checks it. The
+  /// workspace follows the ProgressEstimator::Workspace contract (one per
+  /// estimator per thread); the checker itself stays allocation-free on the
+  /// happy path — issue diagnostics allocate only when a violation is found.
+  void EstimateCheckedInto(const ProfileSnapshot& snapshot,
+                           ProgressEstimator::Workspace* workspace,
+                           ProgressReport* report);
+
   /// Checks an externally produced report (e.g. when the caller already
   /// paid for Estimate) without re-running the estimator.
   void CheckReport(const ProfileSnapshot& snapshot,

@@ -13,7 +13,12 @@ struct BoundsState {
   const Plan* plan;
   const Catalog* catalog;
   const ProfileSnapshot* snapshot;
+  /// Hoisted catalog statics (may be null: fall back to catalog lookups).
+  const PlanAnalysis* analysis;
+  /// Per-node skip mask (may be null); see ComputeBoundsInto.
+  const std::vector<uint8_t>* frozen;
   CardinalityBounds* out;
+  uint64_t derivations = 0;
 
   double K(int id) const {
     return static_cast<double>(snapshot->operators[id].row_count);
@@ -23,6 +28,9 @@ struct BoundsState {
   }
 
   double TableRows(const PlanNode& node) const {
+    if (analysis != nullptr && analysis->has_catalog_statics) {
+      return analysis->node_statics[node.id].bound_table_rows;
+    }
     const Table* t = catalog->GetTable(node.table_name);
     return t == nullptr ? kInf : static_cast<double>(t->num_rows());
   }
@@ -60,6 +68,17 @@ struct BoundsState {
     }
 
     const double k = K(node.id);
+    if (frozen != nullptr && (*frozen)[node.id] != 0) {
+      // Finished in this snapshot and not under any NL-inner edge: the
+      // derivation below would end at lower = upper = K_i regardless (the
+      // end-of-stream clamp always fires, since inner_multiplier is 1 on
+      // every such path). Reuse the frozen value instead of re-deriving
+      // the coefficients on every later snapshot.
+      out->lower[node.id] = k;
+      out->upper[node.id] = k;
+      return;
+    }
+    ++derivations;
     double lb = k;
     double ub = kInf;
     auto child_ub = [&](size_t i) { return out->upper[node.child(i)->id]; };
@@ -266,11 +285,21 @@ double CardinalityBounds::Clamp(int node_id, double estimate) const {
 CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
                                 const ProfileSnapshot& snapshot) {
   CardinalityBounds bounds;
-  bounds.lower.assign(plan.size(), 0.0);
-  bounds.upper.assign(plan.size(), kInf);
-  BoundsState st{&plan, &catalog, &snapshot, &bounds};
-  st.Compute(*plan.root, 1.0, false);
+  ComputeBoundsInto(plan, catalog, snapshot, nullptr, nullptr, &bounds,
+                    nullptr);
   return bounds;
+}
+
+void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
+                       const ProfileSnapshot& snapshot,
+                       const PlanAnalysis* analysis,
+                       const std::vector<uint8_t>* frozen,
+                       CardinalityBounds* out, uint64_t* derivations) {
+  out->lower.assign(plan.size(), 0.0);
+  out->upper.assign(plan.size(), kInf);
+  BoundsState st{&plan, &catalog, &snapshot, analysis, frozen, out};
+  st.Compute(*plan.root, 1.0, false);
+  if (derivations != nullptr) *derivations += st.derivations;
 }
 
 }  // namespace lqs

@@ -1,10 +1,12 @@
 #ifndef LQS_LQS_BOUNDS_H_
 #define LQS_LQS_BOUNDS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
+#include "lqs/pipeline.h"
 #include "storage/catalog.h"
 
 namespace lqs {
@@ -28,6 +30,29 @@ struct CardinalityBounds {
 /// have exact bounds (lower = upper = K_i).
 CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
                                 const ProfileSnapshot& snapshot);
+
+/// Allocation-free form: writes into `out`, reusing its vectors' capacity
+/// (zero heap traffic once they have been sized by a first call).
+///
+/// `analysis` (optional) supplies hoisted catalog statics so table sizes
+/// are read from a flat array instead of the catalog's string-keyed map;
+/// pass one with has_catalog_statics for the hot path, or null to look the
+/// catalog up live. Results are identical either way.
+///
+/// `frozen` (optional, per node id) marks operators whose bound derivation
+/// may be skipped: an operator that is `finished` in THIS snapshot and is
+/// not under any NL-inner edge has exact bounds lower = upper = K_i, so
+/// the coefficient derivation (the Appendix A switch) is bypassed and the
+/// frozen value written directly. The caller must compute the mask from
+/// the snapshot being estimated — never from an earlier one — which keeps
+/// out-of-order replay exact. `derivations` (optional) counts the nodes
+/// whose coefficients WERE derived, so tests can assert that finished
+/// operators stop paying for re-derivation.
+void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
+                       const ProfileSnapshot& snapshot,
+                       const PlanAnalysis* analysis,
+                       const std::vector<uint8_t>* frozen,
+                       CardinalityBounds* out, uint64_t* derivations);
 
 }  // namespace lqs
 

@@ -4,13 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lqs {
 
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double K(const ProfileSnapshot& snap, int id) {
   return static_cast<double>(snap.operators[id].row_count);
@@ -71,7 +70,78 @@ EstimatorOptions EstimatorOptions::Lqs() {
 ProgressEstimator::ProgressEstimator(const Plan* plan, const Catalog* catalog,
                                      EstimatorOptions options)
     : plan_(plan), catalog_(catalog), options_(options),
-      analysis_(AnalyzePlan(*plan)) {}
+      analysis_(AnalyzePlan(*plan, catalog)) {}
+
+void ProgressEstimator::PrepareWorkspace(Workspace* ws) const {
+  if (ws->owner == this) return;
+  if (ws->owner != nullptr) {
+    // One workspace per estimator per thread (see the Workspace contract):
+    // a workspace bound to another estimator carries that plan's shape and
+    // frozen values. Mixing plans would read caches of the wrong query —
+    // abort loudly instead.
+    std::fprintf(stderr,
+                 "ProgressEstimator::EstimateInto: workspace is bound to a "
+                 "different estimator (plan shape %zu nodes, this plan has "
+                 "%d) — use one Workspace per estimator per thread\n",
+                 ws->n_hat.size(), plan_->size());
+    std::abort();
+  }
+  const size_t n = static_cast<size_t>(plan_->size());
+  const size_t np = static_cast<size_t>(analysis_.pipeline_count());
+  ws->owner = this;
+  ws->n_hat.assign(n, 0.0);
+  ws->alpha.assign(np, 0.0);
+  ws->weight.assign(np, 0.0);
+  ws->bounds.lower.reserve(n);  // sized by ComputeBoundsInto per call
+  ws->bounds.upper.reserve(n);
+  ws->node_frozen.assign(n, 0);
+  ws->pipeline_finished.assign(np, 0);
+  ws->weight_frozen.assign(np, 0);
+  ws->frozen_weight.assign(np, 0.0);
+  ws->on_path.assign(np, 1);
+  ws->cp_best.assign(np, 0.0);
+  ws->cp_best_child.assign(np, -1);
+}
+
+void ProgressEstimator::ComputeFreezeMasks(const ProfileSnapshot& snapshot,
+                                           Workspace* ws) const {
+  if (!options_.incremental) return;  // masks stay all-zero
+  // Everything below derives from THIS snapshot only. A `finished` operator
+  // outside every NL-inner side has final counters, so any snapshot that
+  // shows it finished shows the same counters — frozen values computed from
+  // one such snapshot are exact for all of them, in any replay order.
+  const int n = plan_->size();
+  for (int i = 0; i < n; ++i) {
+    ws->node_frozen[i] = (snapshot.operators[i].finished &&
+                          !analysis_.under_nlj_inner[i])
+                             ? 1
+                             : 0;
+  }
+  for (const PipelineInfo& p : analysis_.pipelines) {
+    bool finished = true;
+    for (int id : p.nodes) {
+      finished = finished && snapshot.operators[id].finished;
+    }
+    ws->pipeline_finished[p.id] = finished ? 1 : 0;
+  }
+}
+
+double ProgressEstimator::FullScanRows(const PlanNode& node) const {
+  if (options_.incremental && analysis_.has_catalog_statics) {
+    const NodeStatics& s = analysis_.node_statics[node.id];
+    return s.uncorrelated_full_scan ? s.table_rows : -1.0;
+  }
+  if (!((node.type == OpType::kTableScan ||
+         node.type == OpType::kClusteredIndexScan ||
+         node.type == OpType::kIndexScan ||
+         node.type == OpType::kColumnstoreScan) &&
+        node.pushed_predicate == nullptr && node.bitmap_source_id < 0 &&
+        !analysis_.on_nlj_inner_side[node.id])) {
+    return -1.0;
+  }
+  const Table* t = catalog_->GetTable(node.table_name);
+  return t == nullptr ? -1.0 : static_cast<double>(t->num_rows());
+}
 
 void ProgressEstimator::DriverContribution(const ProfileSnapshot& snapshot,
                                            int node_id,
@@ -109,18 +179,11 @@ void ProgressEstimator::DriverContribution(const ProfileSnapshot& snapshot,
   }
 
   // Plain full scans: total known exactly from the catalog.
-  if ((node.type == OpType::kTableScan ||
-       node.type == OpType::kClusteredIndexScan ||
-       node.type == OpType::kIndexScan ||
-       node.type == OpType::kColumnstoreScan) &&
-      node.pushed_predicate == nullptr && node.bitmap_source_id < 0 &&
-      !analysis_.on_nlj_inner_side[node_id]) {
-    const Table* t = catalog_->GetTable(node.table_name);
-    if (t != nullptr && t->num_rows() > 0) {
-      *k = rows_out;
-      *n = static_cast<double>(t->num_rows());
-      return;
-    }
+  const double scan_rows = FullScanRows(node);
+  if (scan_rows > 0) {
+    *k = rows_out;
+    *n = scan_rows;
+    return;
   }
 
   // Everything else (seeks, blocking-operator outputs, constant scans,
@@ -129,11 +192,20 @@ void ProgressEstimator::DriverContribution(const ProfileSnapshot& snapshot,
   *n = std::max(1.0, n_hat[node_id]);
 }
 
-std::vector<double> ProgressEstimator::PipelineAlphas(
-    const ProfileSnapshot& snapshot, const std::vector<double>& n_hat,
-    bool include_inner) const {
-  std::vector<double> alpha(analysis_.pipeline_count(), 0.0);
+void ProgressEstimator::PipelineAlphasInto(const ProfileSnapshot& snapshot,
+                                           const std::vector<double>& n_hat,
+                                           bool include_inner,
+                                           Workspace* ws) const {
+  std::vector<double>& alpha = ws->alpha;
   for (const PipelineInfo& p : analysis_.pipelines) {
+    if (options_.incremental && ws->pipeline_finished[p.id] != 0 &&
+        analysis_.pipeline_freezable[p.id]) {
+      // Every member operator finished: the root-finished override below
+      // would force exactly 1.0 — skip the driver loop.
+      alpha[p.id] = 1.0;
+      ws->stats.alpha_freezes++;
+      continue;
+    }
     double sum_k = 0;
     double sum_n = 0;
     auto add = [&](int d) {
@@ -160,7 +232,6 @@ std::vector<double> ProgressEstimator::PipelineAlphas(
       alpha[p.id] = 1.0;
     }
   }
-  return alpha;
 }
 
 void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
@@ -168,165 +239,150 @@ void ProgressEstimator::RefinePass(const ProfileSnapshot& snapshot,
                                    const CardinalityBounds* bounds,
                                    std::vector<double>* n_hat) const {
   // Bottom-up (children before parents) so child refinements feed the
-  // §4.4(2) immediate-child scale-up.
-  struct Rec {
-    const ProgressEstimator* self;
-    const ProfileSnapshot& snap;
-    const std::vector<double>& alpha;
-    const CardinalityBounds* bounds;
-    std::vector<double>* n_hat;
+  // §4.4(2) immediate-child scale-up; the order is hoisted into
+  // analysis_.postorder so the hot path is one flat loop.
+  for (int id : analysis_.postorder) {
+    RefineNode(snapshot, plan_->node(id), alpha, bounds, n_hat);
+  }
+}
 
-    void Visit(const PlanNode& node) {
-      for (const auto& c : node.children) Visit(*c);
-      Compute(node);
+void ProgressEstimator::RefineNode(const ProfileSnapshot& snapshot,
+                                   const PlanNode& node,
+                                   const std::vector<double>& alpha,
+                                   const CardinalityBounds* bounds,
+                                   std::vector<double>* n_hat) const {
+  const int id = node.id;
+  const OperatorProfile& prof = snapshot.operators[id];
+  const double k = K(snapshot, id);
+  const bool inner = analysis_.on_nlj_inner_side[id];
+  double estimate = node.est_rows;  // showplan default
+  bool locally_refined = false;     // estimate replaced by observation
+
+  if (prof.finished && !inner) {
+    (*n_hat)[id] = std::max(1.0, k);
+    return;
+  }
+
+  // Exactly-known totals for uncorrelated full scans.
+  const double scan_rows = FullScanRows(node);
+  if (scan_rows >= 0) {
+    (*n_hat)[id] = scan_rows;
+    return;
+  }
+
+  if (options_.refine_cardinality) {
+    const uint64_t min_rows = options_.refine_min_rows;
+    // Cardinality-preserving operators emit exactly their input: their
+    // best estimate IS the child's refined estimate. Scaling their own
+    // K by driver progress is wrong for a buffering exchange (its K
+    // deliberately lags, §4.4) and redundant for sorts.
+    if (!inner &&
+        (IsExchange(node.type) || node.type == OpType::kSort ||
+         node.type == OpType::kComputeScalar ||
+         node.type == OpType::kBitmapCreate)) {
+      (*n_hat)[id] = std::max(k, (*n_hat)[node.child(0)->id]);
+      return;
     }
-
-    void Compute(const PlanNode& node) {
-      const int id = node.id;
-      const OperatorProfile& prof = snap.operators[id];
-      const double k = K(snap, id);
-      const bool inner = self->analysis_.on_nlj_inner_side[id];
-      double estimate = node.est_rows;  // showplan default
-      bool locally_refined = false;     // estimate replaced by observation
-
-      if (prof.finished && !inner) {
-        (*n_hat)[id] = std::max(1.0, k);
-        return;
+    if (inner && options_.semi_blocking_adjust) {
+      // §4.1 (nested loops) + §4.4(3): scale K_i by the inverse of the
+      // fraction of outer rows the join has actually PROCESSED.
+      // Executions of the join's direct inner child count processed
+      // outer rows exactly, which adjusts for rows merely buffered on
+      // the outer side; the outer child's refined total supplies the
+      // denominator. Nodes that are not re-executed per outer row
+      // (spool children) are handled correctly too: at completion the
+      // fraction is 1 and the estimate equals K_i.
+      const int nlj = analysis_.enclosing_nlj[id];
+      const PlanNode& join = plan_->node(nlj);
+      const double processed = Executions(snapshot, join.child(1)->id);
+      double outer_total = (*n_hat)[join.child(0)->id];
+      if (processed >= static_cast<double>(std::min<uint64_t>(min_rows, 8)) &&
+          outer_total > 0) {
+        const double fraction =
+            std::clamp(processed / std::max(1.0, outer_total), 1e-9, 1.0);
+        estimate = k / fraction;
+        locally_refined = true;
       }
-
-      // Exactly-known totals for uncorrelated full scans.
-      if ((node.type == OpType::kTableScan ||
-           node.type == OpType::kClusteredIndexScan ||
-           node.type == OpType::kIndexScan ||
-           node.type == OpType::kColumnstoreScan) &&
-          node.pushed_predicate == nullptr && node.bitmap_source_id < 0 &&
-          !inner) {
-        const Table* t = self->catalog_->GetTable(node.table_name);
-        if (t != nullptr) {
-          (*n_hat)[id] = static_cast<double>(t->num_rows());
-          return;
+    } else if (!inner) {
+      // Scale-up basis: pipeline driver progress, or the immediate
+      // child's progress when separated by a semi-blocking operator
+      // (§4.4(2), Figure 9).
+      double a = 0.0;
+      bool use_child = options_.semi_blocking_adjust &&
+                       analysis_.separated_by_semi_blocking[id];
+      if (use_child) {
+        double ck = 0;
+        double cn = 0;
+        for (const auto& c : node.children) {
+          if (analysis_.pipeline_of_node[c->id] !=
+              analysis_.pipeline_of_node[id]) {
+            continue;  // blocked child: not part of this flow
+          }
+          ck += K(snapshot, c->id);
+          cn += std::max(1.0, (*n_hat)[c->id]);
         }
+        a = cn > 0 ? ck / cn : 0.0;
+      } else {
+        a = alpha[analysis_.pipeline_of_node[id]];
       }
+      a = std::clamp(a, 0.0, 1.0);
 
-      if (self->options_.refine_cardinality) {
-        const uint64_t min_rows = self->options_.refine_min_rows;
-        // Cardinality-preserving operators emit exactly their input: their
-        // best estimate IS the child's refined estimate. Scaling their own
-        // K by driver progress is wrong for a buffering exchange (its K
-        // deliberately lags, §4.4) and redundant for sorts.
-        if (!inner &&
-            (IsExchange(node.type) || node.type == OpType::kSort ||
-             node.type == OpType::kComputeScalar ||
-             node.type == OpType::kBitmapCreate)) {
-          (*n_hat)[id] = std::max(k, (*n_hat)[node.child(0)->id]);
-          return;
-        }
-        if (inner && self->options_.semi_blocking_adjust) {
-          // §4.1 (nested loops) + §4.4(3): scale K_i by the inverse of the
-          // fraction of outer rows the join has actually PROCESSED.
-          // Executions of the join's direct inner child count processed
-          // outer rows exactly, which adjusts for rows merely buffered on
-          // the outer side; the outer child's refined total supplies the
-          // denominator. Nodes that are not re-executed per outer row
-          // (spool children) are handled correctly too: at completion the
-          // fraction is 1 and the estimate equals K_i.
-          const int nlj = self->analysis_.enclosing_nlj[id];
-          const PlanNode& join = self->plan_->node(nlj);
-          const double processed = Executions(snap, join.child(1)->id);
-          double outer_total = (*n_hat)[join.child(0)->id];
-          if (processed >=
-                  static_cast<double>(std::min<uint64_t>(min_rows, 8)) &&
-              outer_total > 0) {
-            const double fraction =
-                std::clamp(processed / std::max(1.0, outer_total), 1e-9, 1.0);
-            estimate = k / fraction;
-            locally_refined = true;
-          }
-        } else if (!inner) {
-          // Scale-up basis: pipeline driver progress, or the immediate
-          // child's progress when separated by a semi-blocking operator
-          // (§4.4(2), Figure 9).
-          double a = 0.0;
-          bool use_child = self->options_.semi_blocking_adjust &&
-                           self->analysis_.separated_by_semi_blocking[id];
-          if (use_child) {
-            double ck = 0;
-            double cn = 0;
-            for (const auto& c : node.children) {
-              if (self->analysis_.pipeline_of_node[c->id] !=
-                  self->analysis_.pipeline_of_node[id]) {
-                continue;  // blocked child: not part of this flow
-              }
-              ck += K(snap, c->id);
-              cn += std::max(1.0, (*n_hat)[c->id]);
-            }
-            a = cn > 0 ? ck / cn : 0.0;
-          } else {
-            a = alpha[self->analysis_.pipeline_of_node[id]];
-          }
-          a = std::clamp(a, 0.0, 1.0);
-
-          // Guard conditions (§4.1): enough rows observed on all inputs,
-          // and for selective operators both outcomes observed.
-          bool guards = a > 1e-9 && k >= static_cast<double>(min_rows);
-          double input_seen = 0;
-          for (const auto& c : node.children) input_seen += K(snap, c->id);
-          if (!node.children.empty()) {
-            for (const auto& c : node.children) {
-              if (K(snap, c->id) < static_cast<double>(min_rows)) {
-                guards = false;
-              }
-            }
-          }
-          const bool selective =
-              node.type == OpType::kFilter || IsJoin(node.type) ||
-              (IsScan(node.type) && prof.has_pushed_predicate);
-          if (selective && !node.children.empty() &&
-              !(k > 0 && k < input_seen)) {
+      // Guard conditions (§4.1): enough rows observed on all inputs,
+      // and for selective operators both outcomes observed.
+      bool guards = a > 1e-9 && k >= static_cast<double>(min_rows);
+      double input_seen = 0;
+      for (const auto& c : node.children) input_seen += K(snapshot, c->id);
+      if (!node.children.empty()) {
+        for (const auto& c : node.children) {
+          if (K(snapshot, c->id) < static_cast<double>(min_rows)) {
             guards = false;
           }
-          if (guards) {
-            double scaled = k / a;
-            estimate = self->options_.interpolate_refinement
-                           ? (1.0 - a) * node.est_rows + a * scaled
-                           : scaled;
-            locally_refined = true;
-          }
         }
       }
-
-      // §7(a) extension: before any local observation exists, inherit the
-      // children's refinement by scaling the showplan estimate with the
-      // ratio by which the children's estimates moved.
-      if (self->options_.propagate_refinement && !inner &&
-          k < static_cast<double>(self->options_.refine_min_rows) &&
-          !node.children.empty() && !locally_refined) {
-        double ratio = 1.0;
-        int contributing = 0;
-        for (const auto& c : node.children) {
-          if (c->est_rows > 0 && (*n_hat)[c->id] > 0) {
-            ratio *= (*n_hat)[c->id] / c->est_rows;
-            contributing++;
-          }
-        }
-        if (contributing > 0) {
-          ratio = std::pow(ratio, 1.0 / contributing);
-          estimate = node.est_rows * std::clamp(ratio, 0.02, 50.0);
-        }
+      const bool selective =
+          node.type == OpType::kFilter || IsJoin(node.type) ||
+          (IsScan(node.type) && prof.has_pushed_predicate);
+      if (selective && !node.children.empty() &&
+          !(k > 0 && k < input_seen)) {
+        guards = false;
       }
-
-      if (self->options_.bound_cardinality && bounds != nullptr) {
-        double lb = bounds->lower[id];
-        double ub = bounds->upper[id];
-        if (std::isfinite(lb)) estimate = std::max(estimate, lb);
-        if (std::isfinite(ub)) estimate = std::min(estimate, ub);
+      if (guards) {
+        double scaled = k / a;
+        estimate = options_.interpolate_refinement
+                       ? (1.0 - a) * node.est_rows + a * scaled
+                       : scaled;
+        locally_refined = true;
       }
-      (*n_hat)[id] = std::max(estimate, 0.0);
     }
-  };
+  }
 
-  Rec rec{this, snapshot, alpha, bounds, n_hat};
-  rec.Visit(*plan_->root);
+  // §7(a) extension: before any local observation exists, inherit the
+  // children's refinement by scaling the showplan estimate with the
+  // ratio by which the children's estimates moved.
+  if (options_.propagate_refinement && !inner &&
+      k < static_cast<double>(options_.refine_min_rows) &&
+      !node.children.empty() && !locally_refined) {
+    double ratio = 1.0;
+    int contributing = 0;
+    for (const auto& c : node.children) {
+      if (c->est_rows > 0 && (*n_hat)[c->id] > 0) {
+        ratio *= (*n_hat)[c->id] / c->est_rows;
+        contributing++;
+      }
+    }
+    if (contributing > 0) {
+      ratio = std::pow(ratio, 1.0 / contributing);
+      estimate = node.est_rows * std::clamp(ratio, 0.02, 50.0);
+    }
+  }
+
+  if (options_.bound_cardinality && bounds != nullptr) {
+    double lb = bounds->lower[id];
+    double ub = bounds->upper[id];
+    if (std::isfinite(lb)) estimate = std::max(estimate, lb);
+    if (std::isfinite(ub)) estimate = std::min(estimate, ub);
+  }
+  (*n_hat)[id] = std::max(estimate, 0.0);
 }
 
 double ProgressEstimator::OperatorProgress(const ProfileSnapshot& snapshot,
@@ -376,167 +432,226 @@ double ProgressEstimator::OperatorProgress(const ProfileSnapshot& snapshot,
   return std::clamp(k / n, 0.0, 1.0);
 }
 
-std::vector<double> ProgressEstimator::PipelineWeights(
-    const std::vector<double>& n_hat) const {
+double ProgressEstimator::OwnCostMs(const PlanNode& node,
+                                    const std::vector<double>& n_hat) const {
   // Per-node cost re-evaluated at the refined cardinalities with the same
-  // constants the executor charges and the optimizer predicts. Cost
-  // attribution across blocking boundaries matters: a blocking operator's
-  // INPUT phase executes while its child pipeline runs (§4.5), so that
-  // share weighs the child pipeline; only the output phase weighs the
-  // operator's own pipeline. Within an operator, CPU and I/O are assumed
-  // to overlap: only their maximum contributes (§4.6).
-  std::vector<double> weight(analysis_.pipeline_count(), 0.0);
-  for (const PipelineInfo& p : analysis_.pipelines) {
-    for (int id : p.nodes) {
-      const PlanNode& node = plan_->node(id);
-      const double n_out = std::max(0.0, n_hat[id]);
-      const double n_in =
-          node.children.empty() ? 0.0 : std::max(0.0, n_hat[node.child(0)->id]);
-      double cpu = 0;
-      double io = 0;
-      double boundary_ms = 0;  // work executing with the blocked child
-      switch (node.type) {
-        // Scans read the whole object regardless of how many rows survive
-        // their pushed predicates: cost does not scale with output.
-        case OpType::kTableScan:
-        case OpType::kClusteredIndexScan:
-        case OpType::kIndexScan: {
-          const Table* t = catalog_->GetTable(node.table_name);
-          if (t != nullptr) {
-            io = static_cast<double>(t->num_pages()) *
-                 cost::kIoSequentialPageMs;
-            cpu = static_cast<double>(t->num_rows()) * cost::kCpuScanRowMs;
-          }
-          break;
-        }
-        case OpType::kColumnstoreScan: {
-          const ColumnstoreIndex* csi =
-              catalog_->GetColumnstore(node.table_name);
-          const Table* t = catalog_->GetTable(node.table_name);
-          if (csi != nullptr && t != nullptr) {
-            io = static_cast<double>(csi->num_segments()) *
-                 cost::kIoSegmentMs;
-            cpu = static_cast<double>(t->num_rows()) * cost::kCpuBatchRowMs;
-          }
-          break;
-        }
-        // Seeks and lookups scale with the rows they fetch.
-        case OpType::kClusteredIndexSeek:
-        case OpType::kIndexSeek:
-        case OpType::kRidLookup:
-          io = std::max(1.0, n_out / static_cast<double>(kRowsPerPage)) *
-               cost::kIoRandomPageMs;
-          cpu = n_out * cost::kCpuScanRowMs;
-          break;
-        case OpType::kConstantScan:
-          cpu = n_out * cost::kCpuRowPassMs;
-          break;
-        case OpType::kFilter:
-          cpu = n_in * cost::kCpuFilterRowMs;
-          break;
-        case OpType::kComputeScalar:
-          cpu = n_in * cost::kCpuComputeRowMs *
-                std::max<size_t>(1, node.projections.size());
-          break;
-        case OpType::kTop:
-        case OpType::kSegment:
-        case OpType::kConcatenation:
-        case OpType::kBitmapCreate:
-          cpu = n_out * cost::kCpuRowPassMs;
-          break;
-        case OpType::kSort:
-        case OpType::kDistinctSort:
-        case OpType::kTopNSort:
-          boundary_ms = n_in * (cost::kCpuSortInputRowMs +
-                                std::log2(std::max(2.0, n_in)) *
-                                    cost::kCpuSortRowMs);
-          cpu = n_out * cost::kCpuRowPassMs;
-          break;
-        case OpType::kHashAggregate:
-          boundary_ms = n_in * cost::kCpuAggInputRowMs;
-          cpu = n_out * cost::kCpuAggOutputRowMs;
-          break;
-        case OpType::kStreamAggregate:
-          cpu = n_in * cost::kCpuStreamAggRowMs;
-          break;
-        case OpType::kHashJoin: {
-          // Build phase runs with the build pipeline; probe + output run
-          // with the join's own pipeline.
-          boundary_ms = n_in * cost::kCpuHashBuildRowMs;
-          const double n_probe = std::max(0.0, n_hat[node.child(1)->id]);
-          cpu = (n_probe + n_out) * cost::kCpuHashProbeRowMs;
-          break;
-        }
-        case OpType::kMergeJoin: {
-          const double n_inner = std::max(0.0, n_hat[node.child(1)->id]);
-          cpu = (n_in + n_inner + n_out) * cost::kCpuMergeRowMs;
-          break;
-        }
-        case OpType::kNestedLoopJoin:
-          cpu = (n_in + n_out) * cost::kCpuNljRowMs;
-          break;
-        case OpType::kEagerSpool:
-          boundary_ms = n_in * cost::kCpuSpoolWriteRowMs;
-          cpu = n_out * cost::kCpuSpoolReadRowMs;
-          break;
-        case OpType::kLazySpool:
-          cpu = n_out * cost::kCpuSpoolReadRowMs +
-                n_in * cost::kCpuSpoolWriteRowMs;
-          break;
-        case OpType::kGatherStreams:
-        case OpType::kRepartitionStreams:
-        case OpType::kDistributeStreams:
-          cpu = n_out *
-                (cost::kCpuExchangeBufferRowMs + cost::kCpuExchangeRowMs);
-          break;
-        case OpType::kNumOpTypes:
-          break;
+  // constants the executor charges and the optimizer predicts. Within an
+  // operator, CPU and I/O are assumed to overlap: only their maximum
+  // contributes (§4.6). Blocking input phases are NOT part of this term —
+  // they weigh the blocked child's pipeline (BoundaryCostMs).
+  const double n_out = std::max(0.0, n_hat[node.id]);
+  const double n_in =
+      node.children.empty() ? 0.0 : std::max(0.0, n_hat[node.child(0)->id]);
+  double cpu = 0;
+  double io = 0;
+  switch (node.type) {
+    // Scans read the whole object regardless of how many rows survive
+    // their pushed predicates: cost does not scale with output. The terms
+    // are catalog constants, hoisted into the analysis when incremental.
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kIndexScan:
+    case OpType::kColumnstoreScan: {
+      if (options_.incremental && analysis_.has_catalog_statics) {
+        const NodeStatics& s = analysis_.node_statics[node.id];
+        io = s.scan_io_ms;
+        cpu = s.scan_cpu_ms;
+        break;
       }
-      const double multiplier =
-          feedback_ != nullptr ? feedback_->Multiplier(node.type) : 1.0;
-      weight[p.id] += std::max(cpu, io) * multiplier;
-      if (boundary_ms > 0 && !node.children.empty()) {
-        weight[analysis_.pipeline_of_node[node.child(0)->id]] +=
-            boundary_ms * multiplier;
+      if (node.type == OpType::kColumnstoreScan) {
+        const ColumnstoreIndex* csi = catalog_->GetColumnstore(node.table_name);
+        const Table* t = catalog_->GetTable(node.table_name);
+        if (csi != nullptr && t != nullptr) {
+          io = static_cast<double>(csi->num_segments()) * cost::kIoSegmentMs;
+          cpu = static_cast<double>(t->num_rows()) * cost::kCpuBatchRowMs;
+        }
+      } else {
+        const Table* t = catalog_->GetTable(node.table_name);
+        if (t != nullptr) {
+          io = static_cast<double>(t->num_pages()) * cost::kIoSequentialPageMs;
+          cpu = static_cast<double>(t->num_rows()) * cost::kCpuScanRowMs;
+        }
+      }
+      break;
+    }
+    // Seeks and lookups scale with the rows they fetch.
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexSeek:
+    case OpType::kRidLookup:
+      io = std::max(1.0, n_out / static_cast<double>(kRowsPerPage)) *
+           cost::kIoRandomPageMs;
+      cpu = n_out * cost::kCpuScanRowMs;
+      break;
+    case OpType::kConstantScan:
+      cpu = n_out * cost::kCpuRowPassMs;
+      break;
+    case OpType::kFilter:
+      cpu = n_in * cost::kCpuFilterRowMs;
+      break;
+    case OpType::kComputeScalar:
+      cpu = n_in * cost::kCpuComputeRowMs *
+            std::max<size_t>(1, node.projections.size());
+      break;
+    case OpType::kTop:
+    case OpType::kSegment:
+    case OpType::kConcatenation:
+    case OpType::kBitmapCreate:
+      cpu = n_out * cost::kCpuRowPassMs;
+      break;
+    case OpType::kSort:
+    case OpType::kDistinctSort:
+    case OpType::kTopNSort:
+      cpu = n_out * cost::kCpuRowPassMs;
+      break;
+    case OpType::kHashAggregate:
+      cpu = n_out * cost::kCpuAggOutputRowMs;
+      break;
+    case OpType::kStreamAggregate:
+      cpu = n_in * cost::kCpuStreamAggRowMs;
+      break;
+    case OpType::kHashJoin: {
+      // Probe + output run with the join's own pipeline; the build phase
+      // is the boundary term.
+      const double n_probe = std::max(0.0, n_hat[node.child(1)->id]);
+      cpu = (n_probe + n_out) * cost::kCpuHashProbeRowMs;
+      break;
+    }
+    case OpType::kMergeJoin: {
+      const double n_inner = std::max(0.0, n_hat[node.child(1)->id]);
+      cpu = (n_in + n_inner + n_out) * cost::kCpuMergeRowMs;
+      break;
+    }
+    case OpType::kNestedLoopJoin:
+      cpu = (n_in + n_out) * cost::kCpuNljRowMs;
+      break;
+    case OpType::kEagerSpool:
+      cpu = n_out * cost::kCpuSpoolReadRowMs;
+      break;
+    case OpType::kLazySpool:
+      cpu = n_out * cost::kCpuSpoolReadRowMs +
+            n_in * cost::kCpuSpoolWriteRowMs;
+      break;
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      cpu = n_out *
+            (cost::kCpuExchangeBufferRowMs + cost::kCpuExchangeRowMs);
+      break;
+    case OpType::kNumOpTypes:
+      break;
+  }
+  return std::max(cpu, io);
+}
+
+double ProgressEstimator::BoundaryCostMs(
+    const PlanNode& node, const std::vector<double>& n_hat) const {
+  // A blocking operator's INPUT phase executes while its (blocked) child
+  // pipeline runs (§4.5), so this share weighs the child pipeline.
+  const double n_in =
+      node.children.empty() ? 0.0 : std::max(0.0, n_hat[node.child(0)->id]);
+  switch (node.type) {
+    case OpType::kSort:
+    case OpType::kDistinctSort:
+    case OpType::kTopNSort:
+      return n_in * (cost::kCpuSortInputRowMs +
+                     std::log2(std::max(2.0, n_in)) * cost::kCpuSortRowMs);
+    case OpType::kHashAggregate:
+      return n_in * cost::kCpuAggInputRowMs;
+    case OpType::kHashJoin:
+      return n_in * cost::kCpuHashBuildRowMs;
+    case OpType::kEagerSpool:
+      return n_in * cost::kCpuSpoolWriteRowMs;
+    default:
+      return 0.0;
+  }
+}
+
+void ProgressEstimator::PipelineWeightsInto(const std::vector<double>& n_hat,
+                                            Workspace* ws) const {
+  // Weight terms are hoisted per pipeline (analysis_.weight_contribs), so
+  // each pipeline's weight is an independent sum — which is what makes the
+  // frozen-weight cache sound: once every pipeline whose refined
+  // cardinalities feed the sum has finished (and none sits under an
+  // NL-inner side), every input to the sum is final and the cached value
+  // is exact. Cost-feedback multipliers may change between calls, so the
+  // cache is bypassed entirely while feedback is attached.
+  for (const PipelineInfo& p : analysis_.pipelines) {
+    bool can_freeze = options_.incremental && feedback_ == nullptr &&
+                      analysis_.weight_freezable[p.id];
+    if (can_freeze) {
+      for (int d : analysis_.weight_deps[p.id]) {
+        can_freeze = can_freeze && ws->pipeline_finished[d] != 0;
       }
     }
+    if (can_freeze && ws->weight_frozen[p.id] != 0) {
+      ws->weight[p.id] = ws->frozen_weight[p.id];
+      ws->stats.weight_cache_hits++;
+      continue;
+    }
+    double w = 0;
+    for (const PlanAnalysis::WeightContrib& c :
+         analysis_.weight_contribs[p.id]) {
+      const PlanNode& node = plan_->node(c.node);
+      const double multiplier =
+          feedback_ != nullptr ? feedback_->Multiplier(node.type) : 1.0;
+      w += (c.boundary ? BoundaryCostMs(node, n_hat)
+                       : OwnCostMs(node, n_hat)) *
+           multiplier;
+    }
+    w = std::max(w, 1e-6);
+    ws->weight[p.id] = w;
+    if (can_freeze) {
+      ws->frozen_weight[p.id] = w;
+      ws->weight_frozen[p.id] = 1;
+    }
   }
-  for (double& w : weight) w = std::max(w, 1e-6);
-  return weight;
 }
 
 ProgressReport ProgressEstimator::Estimate(
     const ProfileSnapshot& snapshot) const {
-  const int n = plan_->size();
+  Workspace workspace;
   ProgressReport report;
-  report.operator_progress.assign(n, 0.0);
-  report.refined_rows.assign(n, 0.0);
+  EstimateInto(snapshot, &workspace, &report);
+  return report;
+}
 
-  CardinalityBounds bounds;
+void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
+                                     Workspace* workspace,
+                                     ProgressReport* report) const {
+  Workspace* ws = workspace;
+  PrepareWorkspace(ws);
+  ws->stats.calls++;
+  const int n = plan_->size();
+  const int num_pipelines = analysis_.pipeline_count();
+
+  ComputeFreezeMasks(snapshot, ws);
+
   const CardinalityBounds* bounds_ptr = nullptr;
   if (options_.bound_cardinality) {
-    bounds = ComputeBounds(*plan_, *catalog_, snapshot);
-    bounds_ptr = &bounds;
+    ComputeBoundsInto(*plan_, *catalog_, snapshot,
+                      options_.incremental ? &analysis_ : nullptr,
+                      options_.incremental ? &ws->node_frozen : nullptr,
+                      &ws->bounds, &ws->stats.bound_derivations);
+    bounds_ptr = &ws->bounds;
   }
 
   // Seed N̂ with showplan estimates, then iterate: alphas need driver N̂,
   // refinement needs alphas. Two rounds reach a fixed point for the plan
   // shapes that matter (the §4.4(1) inner drivers need round-1 refinement).
-  std::vector<double> n_hat(n);
-  for (int i = 0; i < n; ++i) {
-    n_hat[i] = std::max(0.0, plan_->node(i).est_rows);
-  }
-  std::vector<double> alpha = PipelineAlphas(snapshot, n_hat, false);
-  RefinePass(snapshot, alpha, bounds_ptr, &n_hat);
-  alpha = PipelineAlphas(snapshot, n_hat, true);
-  RefinePass(snapshot, alpha, bounds_ptr, &n_hat);
-  alpha = PipelineAlphas(snapshot, n_hat, true);
+  std::copy(analysis_.est_seed.begin(), analysis_.est_seed.end(),
+            ws->n_hat.begin());
+  PipelineAlphasInto(snapshot, ws->n_hat, false, ws);
+  RefinePass(snapshot, ws->alpha, bounds_ptr, &ws->n_hat);
+  PipelineAlphasInto(snapshot, ws->n_hat, true, ws);
+  RefinePass(snapshot, ws->alpha, bounds_ptr, &ws->n_hat);
+  PipelineAlphasInto(snapshot, ws->n_hat, true, ws);
 
-  report.refined_rows = n_hat;
-  report.pipeline_progress = alpha;
-
+  const std::vector<double>& n_hat = ws->n_hat;
+  report->refined_rows = n_hat;          // capacity-reusing copies
+  report->pipeline_progress = ws->alpha;
+  report->operator_progress.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    report.operator_progress[i] = OperatorProgress(snapshot, i, n_hat);
+    report->operator_progress[i] = OperatorProgress(snapshot, i, n_hat);
   }
 
   // ---- Query-level progress ----
@@ -571,10 +686,10 @@ ProgressReport ProgressEstimator::Estimate(
         sum_n += n_hat[i];
       }
     }
-    report.query_progress =
+    report->query_progress =
         sum_n > 0 ? std::clamp(sum_k / sum_n, 0.0, 1.0) : 0.0;
-    report.pipeline_weight.assign(analysis_.pipeline_count(), 1.0);
-    return report;
+    report->pipeline_weight.assign(static_cast<size_t>(num_pipelines), 1.0);
+    return;
   }
 
   // §4.6: weight each speed-independent pipeline by max(est CPU, est I/O),
@@ -582,17 +697,18 @@ ProgressReport ProgressEstimator::Estimate(
   // estimates of I/O and CPU cost per tuple and refined N_i counts"), and
   // aggregate pipeline progress. Optionally restrict to the longest
   // (critical) path.
-  const int num_pipelines = analysis_.pipeline_count();
-  std::vector<double> weight = PipelineWeights(n_hat);
+  PipelineWeightsInto(n_hat, ws);
+  const std::vector<double>& weight = ws->weight;
 
-  std::vector<char> on_path(num_pipelines, 1);
+  ws->on_path.assign(static_cast<size_t>(num_pipelines), 1);
   if (options_.critical_path_only) {
     // Longest root-to-leaf path in the pipeline tree by total weight.
-    std::vector<double> best(num_pipelines, 0.0);
-    std::vector<int> best_child(num_pipelines, -1);
+    std::vector<double>& best = ws->cp_best;
+    std::vector<int>& best_child = ws->cp_best_child;
     // Pipelines are created parent-before-child; iterate in reverse.
     for (int p = num_pipelines - 1; p >= 0; --p) {
       best[p] = weight[p];
+      best_child[p] = -1;
       double best_sub = 0;
       for (int c : analysis_.pipelines[p].child_pipelines) {
         if (best[c] > best_sub) {
@@ -602,21 +718,20 @@ ProgressReport ProgressEstimator::Estimate(
       }
       best[p] += best_sub;
     }
-    on_path.assign(num_pipelines, 0);
-    for (int p = 0; p >= 0; p = best_child[p]) on_path[p] = 1;
+    ws->on_path.assign(static_cast<size_t>(num_pipelines), 0);
+    for (int p = 0; p >= 0; p = best_child[p]) ws->on_path[p] = 1;
   }
 
   double sum_wp = 0;
   double sum_w = 0;
   for (int p = 0; p < num_pipelines; ++p) {
-    if (!on_path[p]) continue;
-    sum_wp += weight[p] * alpha[p];
+    if (!ws->on_path[p]) continue;
+    sum_wp += weight[p] * ws->alpha[p];
     sum_w += weight[p];
   }
-  report.query_progress =
+  report->query_progress =
       sum_w > 0 ? std::clamp(sum_wp / sum_w, 0.0, 1.0) : 0.0;
-  report.pipeline_weight = weight;
-  return report;
+  report->pipeline_weight = weight;
 }
 
 }  // namespace lqs

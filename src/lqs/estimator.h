@@ -51,6 +51,14 @@ struct EstimatorOptions {
   /// estimates. The paper's shipping system propagates only worst-case
   /// bounds; off by default to match it.
   bool propagate_refinement = false;
+  /// Engine mode, not an estimation technique: when false, disables the
+  /// workspace engine's short-circuits (finished-operator bound freezing,
+  /// finished-pipeline alpha/weight freezing) and the hoisted catalog
+  /// statics, forcing the full stateless recomputation the paper's §2.2
+  /// client performs on every poll. Reports are bit-identical either way
+  /// (enforced by tests/estimator_workspace_test.cc); the flag exists so
+  /// bench/estimator_throughput can measure both cost profiles in one run.
+  bool incremental = true;
   /// Guard (§4.1): minimum observed rows before refinement engages.
   uint64_t refine_min_rows = 30;
 
@@ -82,13 +90,75 @@ struct ProgressReport {
 /// then fed DMV snapshots as they are polled.
 class ProgressEstimator {
  public:
+  /// Preallocated scratch + frozen-value cache for EstimateInto. All flat
+  /// buffers are sized on first use and reused afterwards, so steady-state
+  /// estimation performs zero heap allocations (enforced by
+  /// tests/estimator_alloc_test.cc).
+  ///
+  /// Lifetime and threading contract:
+  ///  - one Workspace per estimator per thread. A workspace binds to the
+  ///    estimator on its first EstimateInto call and must only ever be
+  ///    passed back to that estimator; reuse against a different estimator
+  ///    (and hence a possibly different plan shape) aborts with a
+  ///    diagnostic rather than silently mixing plans.
+  ///  - a Workspace is mutable per-call state. Concurrent EstimateInto
+  ///    calls on one shared const estimator are safe exactly when each
+  ///    caller passes its own workspace (this is how MonitorService uses
+  ///    one cached estimator across parallel sessions).
+  ///  - every frozen entry is validated against the CURRENT snapshot's
+  ///    `finished` flags before reuse, so snapshots may still be replayed
+  ///    in any order, exactly like the stateless Estimate().
+  struct Workspace {
+    /// Observability counters (cumulative since construction).
+    struct Stats {
+      uint64_t calls = 0;
+      /// Nodes whose Appendix A bound coefficients were derived; finished
+      /// operators stop contributing (their bounds are frozen at K_i).
+      uint64_t bound_derivations = 0;
+      /// Pipelines whose alpha was served by the finished-freeze (driver
+      /// loop skipped).
+      uint64_t alpha_freezes = 0;
+      /// Pipelines whose §4.6 weight was served from the frozen cache.
+      uint64_t weight_cache_hits = 0;
+    };
+    Stats stats;
+
+   private:
+    friend class ProgressEstimator;
+    const ProgressEstimator* owner = nullptr;
+    std::vector<double> n_hat;
+    std::vector<double> alpha;
+    std::vector<double> weight;
+    CardinalityBounds bounds;
+    /// Per-call masks, recomputed from each snapshot (out-of-order safe).
+    std::vector<uint8_t> node_frozen;        ///< finished && !under_nlj_inner
+    std::vector<uint8_t> pipeline_finished;  ///< all member ops finished
+    /// Cross-call §4.6 weight cache; entries are only served when the
+    /// current snapshot shows every contributing pipeline finished.
+    std::vector<uint8_t> weight_frozen;
+    std::vector<double> frozen_weight;
+    /// Critical-path scratch (critical_path_only configurations).
+    std::vector<char> on_path;
+    std::vector<double> cp_best;
+    std::vector<int> cp_best_child;
+  };
+
   ProgressEstimator(const Plan* plan, const Catalog* catalog,
                     EstimatorOptions options);
 
   /// Computes query and operator progress from one DMV snapshot. Stateless
   /// across calls (all state is in the snapshot), so snapshots may be
-  /// replayed in any order.
+  /// replayed in any order. Thin compatibility wrapper over EstimateInto
+  /// with a fresh Workspace — one-shot callers keep this; anything that
+  /// estimates in a loop should hold a Workspace and use EstimateInto.
   ProgressReport Estimate(const ProfileSnapshot& snapshot) const;
+
+  /// Allocation-free form of Estimate: writes the report into `*report`
+  /// (vectors are re-sized in place, reusing capacity) using `*workspace`
+  /// for all intermediate state. Produces bit-identical reports to
+  /// Estimate() for any snapshot order; see the Workspace contract above.
+  void EstimateInto(const ProfileSnapshot& snapshot, Workspace* workspace,
+                    ProgressReport* report) const;
 
   const PlanAnalysis& analysis() const { return analysis_; }
   const EstimatorOptions& options() const { return options_; }
@@ -97,11 +167,19 @@ class ProgressEstimator {
 
   /// §7(b) extension: apply learned per-operator-type cost multipliers to
   /// the pipeline weights. `feedback` must outlive the estimator; pass
-  /// nullptr to disable.
+  /// nullptr to disable. Weight freezing is disabled while feedback is set
+  /// (multipliers may change between snapshots).
   void SetCostFeedback(const CostFeedback* feedback) { feedback_ = feedback; }
 
  private:
-  struct Workspace;
+  /// Sizes the workspace buffers on first use and pins the workspace to
+  /// this estimator; aborts on an owner/shape mismatch.
+  void PrepareWorkspace(Workspace* ws) const;
+
+  /// Fills the per-call freeze masks from `snapshot` (no-op masks when
+  /// options_.incremental is off).
+  void ComputeFreezeMasks(const ProfileSnapshot& snapshot, Workspace* ws)
+      const;
 
   /// §4.3/§4.7-aware progress of a single driver node: fills (k, n) such
   /// that k/n is the driver's progress contribution.
@@ -115,19 +193,43 @@ class ProgressEstimator {
                   const CardinalityBounds* bounds,
                   std::vector<double>* n_hat) const;
 
-  /// Driver-based progress of each pipeline; `include_inner` adds the
-  /// §4.4(1) NL-inner drivers (requires refined estimates for them).
-  std::vector<double> PipelineAlphas(const ProfileSnapshot& snapshot,
-                                     const std::vector<double>& n_hat,
-                                     bool include_inner) const;
+  /// Per-node body of RefinePass (children's n_hat must already be final).
+  void RefineNode(const ProfileSnapshot& snapshot, const PlanNode& node,
+                  const std::vector<double>& alpha,
+                  const CardinalityBounds* bounds,
+                  std::vector<double>* n_hat) const;
+
+  /// Driver-based progress of each pipeline into ws->alpha;
+  /// `include_inner` adds the §4.4(1) NL-inner drivers (requires refined
+  /// estimates for them). Fully-finished freezable pipelines short-circuit
+  /// to alpha = 1 (bit-identical: the root-finished override below forces
+  /// the same value).
+  void PipelineAlphasInto(const ProfileSnapshot& snapshot,
+                          const std::vector<double>& n_hat,
+                          bool include_inner, Workspace* ws) const;
 
   double OperatorProgress(const ProfileSnapshot& snapshot, int node_id,
                           const std::vector<double>& n_hat) const;
 
-  /// §4.6 pipeline weights: per-operator max(CPU, I/O) re-evaluated at the
-  /// refined cardinalities, with blocking-input work attributed to the
-  /// pipeline it temporally executes with.
-  std::vector<double> PipelineWeights(const std::vector<double>& n_hat) const;
+  /// §4.6 pipeline weights into ws->weight: per-operator max(CPU, I/O)
+  /// re-evaluated at the refined cardinalities, with blocking-input work
+  /// attributed to the pipeline it temporally executes with. Weights of
+  /// pipelines whose contributing cardinalities are all frozen are served
+  /// from the workspace cache.
+  void PipelineWeightsInto(const std::vector<double>& n_hat, Workspace* ws)
+      const;
+
+  /// §4.6 cost terms of one operator at the refined cardinalities: the
+  /// operator's own-pipeline max(CPU, I/O) share, and the blocking input
+  /// phase attributed to its blocked child's pipeline.
+  double OwnCostMs(const PlanNode& node,
+                   const std::vector<double>& n_hat) const;
+  double BoundaryCostMs(const PlanNode& node,
+                        const std::vector<double>& n_hat) const;
+
+  /// Catalog row count for an uncorrelated full scan (> 0 required by the
+  /// callers), or -1 when unknown; hoisted lookup when incremental.
+  double FullScanRows(const PlanNode& node) const;
 
   const Plan* plan_;
   const Catalog* catalog_;

@@ -36,8 +36,12 @@ QueryEvaluation EvaluateQuery(const Plan& plan, const Catalog& catalog,
     eval.operator_errors[i].type = plan.node(i).type;
   }
 
+  // One workspace + report across the whole replay: the loop body reuses
+  // their buffers instead of reallocating per snapshot.
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
   for (const ProfileSnapshot& snap : trace.snapshots) {
-    ProgressReport report = estimator.Estimate(snap);
+    estimator.EstimateInto(snap, &workspace, &report);
     const double true_count = TrueCountProgress(snap, final_snap);
     const double time_frac = total > 0 ? snap.time_ms / total : 1.0;
 
@@ -93,8 +97,10 @@ std::vector<ProgressSample> ProgressCurve(const Plan& plan,
   ProgressEstimator estimator(&plan, &catalog, options);
   const double total = trace.total_elapsed_ms;
   curve.reserve(trace.snapshots.size());
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
   for (const ProfileSnapshot& snap : trace.snapshots) {
-    ProgressReport report = estimator.Estimate(snap);
+    estimator.EstimateInto(snap, &workspace, &report);
     ProgressSample s;
     s.time_ms = snap.time_ms;
     s.estimated = report.query_progress;

@@ -1,5 +1,9 @@
 #include "lqs/pipeline.h"
 
+#include <algorithm>
+
+#include "exec/cost_constants.h"
+
 namespace lqs {
 
 bool IsBlockingEdge(const PlanNode& parent, size_t child_index) {
@@ -19,6 +23,23 @@ bool IsBlockingEdge(const PlanNode& parent, size_t child_index) {
 
 namespace {
 
+/// True when the operator has a blocking input phase whose cost is
+/// attributed to its blocked child's pipeline (§4.5/§4.6): the sort family,
+/// hash aggregation, the hash join build and the eager spool write.
+bool HasBoundaryCost(OpType type) {
+  switch (type) {
+    case OpType::kSort:
+    case OpType::kDistinctSort:
+    case OpType::kTopNSort:
+    case OpType::kHashAggregate:
+    case OpType::kHashJoin:
+    case OpType::kEagerSpool:
+      return true;
+    default:
+      return false;
+  }
+}
+
 struct Walker {
   const Plan* plan;
   PlanAnalysis* out;
@@ -37,20 +58,26 @@ struct Walker {
   /// pipeline* contains a semi-blocking operator on every... — rather: sets
   /// separated_by_semi_blocking[n] = true when some same-pipeline descendant
   /// edge between n and the pipeline leaves crosses a semi-blocking op.
-  bool Assign(const PlanNode& node, int pid, int inner_nlj) {
+  /// `under_inner` tracks NL-inner edges across pipeline boundaries too —
+  /// it keeps propagating where `inner_nlj` resets, feeding the global
+  /// under_nlj_inner flag the incremental freezes are gated on.
+  bool Assign(const PlanNode& node, int pid, int inner_nlj, bool under_inner) {
     out->pipeline_of_node[node.id] = pid;
     out->pipelines[pid].nodes.push_back(node.id);
     out->on_nlj_inner_side[node.id] = inner_nlj >= 0;
     out->enclosing_nlj[node.id] = inner_nlj;
+    out->under_nlj_inner[node.id] = under_inner;
 
     bool has_same_pipeline_child = false;
     bool below_semi_blocking = false;
     for (size_t i = 0; i < node.children.size(); ++i) {
       const PlanNode& child = *node.children[i];
+      const bool child_under_inner =
+          under_inner || (node.type == OpType::kNestedLoopJoin && i == 1);
       if (IsBlockingEdge(node, i)) {
         int child_pid = NewPipeline(child.id);
         out->pipelines[pid].child_pipelines.push_back(child_pid);
-        Assign(child, child_pid, -1);
+        Assign(child, child_pid, -1, child_under_inner);
         continue;
       }
       has_same_pipeline_child = true;
@@ -58,7 +85,8 @@ struct Walker {
       if (node.type == OpType::kNestedLoopJoin && i == 1) {
         child_inner_nlj = node.id;
       }
-      bool child_below_semi = Assign(child, pid, child_inner_nlj);
+      bool child_below_semi =
+          Assign(child, pid, child_inner_nlj, child_under_inner);
       // A node is separated from the pipeline's sources by a semi-blocking
       // operator when a same-pipeline child either is semi-blocking itself
       // (for NLJ: only when it actually buffers) or is already separated.
@@ -85,6 +113,113 @@ struct Walker {
   }
 };
 
+void FillPostorder(const PlanNode& node, std::vector<int>* postorder) {
+  for (const auto& c : node.children) FillPostorder(*c, postorder);
+  postorder->push_back(node.id);
+}
+
+/// Freeze topology and §4.6 weight attribution, derived once from the
+/// pipeline decomposition (see the field docs in pipeline.h).
+void FillFreezeAndWeightTopology(const Plan& plan, PlanAnalysis* a) {
+  const int num_pipelines = a->pipeline_count();
+  a->pipeline_freezable.assign(num_pipelines, true);
+  for (int id = 0; id < plan.size(); ++id) {
+    if (a->under_nlj_inner[id]) {
+      a->pipeline_freezable[a->pipeline_of_node[id]] = false;
+    }
+  }
+
+  a->weight_contribs.assign(num_pipelines, {});
+  a->weight_deps.assign(num_pipelines, {});
+  // Own terms first (pipeline node order), then the boundary terms blocking
+  // operators scatter into their blocked child's pipeline — deterministic,
+  // so repeated analyses of one plan sum weights in one order.
+  for (const PipelineInfo& p : a->pipelines) {
+    for (int id : p.nodes) {
+      a->weight_contribs[p.id].push_back({id, false});
+    }
+  }
+  for (const PipelineInfo& p : a->pipelines) {
+    for (int id : p.nodes) {
+      const PlanNode& node = plan.node(id);
+      if (HasBoundaryCost(node.type) && !node.children.empty()) {
+        a->weight_contribs[a->pipeline_of_node[node.child(0)->id]].push_back(
+            {id, true});
+      }
+    }
+  }
+
+  // A pipeline's weight reads refined cardinalities of its own nodes and of
+  // their first children (n_in terms may cross a blocking boundary; probe /
+  // inner join inputs stay within the pipeline).
+  for (const PipelineInfo& p : a->pipelines) {
+    std::vector<int>& deps = a->weight_deps[p.id];
+    deps.push_back(p.id);
+    for (int id : p.nodes) {
+      const PlanNode& node = plan.node(id);
+      if (!node.children.empty()) {
+        deps.push_back(a->pipeline_of_node[node.child(0)->id]);
+      }
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  }
+  a->weight_freezable.assign(num_pipelines, false);
+  for (int p = 0; p < num_pipelines; ++p) {
+    bool freezable = true;
+    for (int d : a->weight_deps[p]) {
+      freezable = freezable && a->pipeline_freezable[d];
+    }
+    a->weight_freezable[p] = freezable;
+  }
+}
+
+void FillCatalogStatics(const Plan& plan, const Catalog& catalog,
+                        PlanAnalysis* a) {
+  a->node_statics.assign(plan.size(), NodeStatics{});
+  for (int id = 0; id < plan.size(); ++id) {
+    const PlanNode& node = plan.node(id);
+    NodeStatics& s = a->node_statics[id];
+    const Table* t = catalog.GetTable(node.table_name);
+    if (t != nullptr) {
+      s.table_rows = static_cast<double>(t->num_rows());
+      s.bound_table_rows = s.table_rows;
+    }
+    switch (node.type) {
+      case OpType::kTableScan:
+      case OpType::kClusteredIndexScan:
+      case OpType::kIndexScan:
+        if (t != nullptr) {
+          s.scan_io_ms = static_cast<double>(t->num_pages()) *
+                         cost::kIoSequentialPageMs;
+          s.scan_cpu_ms =
+              static_cast<double>(t->num_rows()) * cost::kCpuScanRowMs;
+        }
+        break;
+      case OpType::kColumnstoreScan: {
+        const ColumnstoreIndex* csi = catalog.GetColumnstore(node.table_name);
+        if (csi != nullptr && t != nullptr) {
+          s.scan_io_ms =
+              static_cast<double>(csi->num_segments()) * cost::kIoSegmentMs;
+          s.scan_cpu_ms =
+              static_cast<double>(t->num_rows()) * cost::kCpuBatchRowMs;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    s.uncorrelated_full_scan =
+        (node.type == OpType::kTableScan ||
+         node.type == OpType::kClusteredIndexScan ||
+         node.type == OpType::kIndexScan ||
+         node.type == OpType::kColumnstoreScan) &&
+        node.pushed_predicate == nullptr && node.bitmap_source_id < 0 &&
+        !a->on_nlj_inner_side[id];
+  }
+  a->has_catalog_statics = true;
+}
+
 }  // namespace
 
 PlanAnalysis AnalyzePlan(const Plan& plan) {
@@ -94,10 +229,26 @@ PlanAnalysis AnalyzePlan(const Plan& plan) {
   analysis.separated_by_semi_blocking.assign(n, false);
   analysis.on_nlj_inner_side.assign(n, false);
   analysis.enclosing_nlj.assign(n, -1);
+  analysis.under_nlj_inner.assign(n, false);
 
   Walker walker{&plan, &analysis};
   int root_pid = walker.NewPipeline(plan.root->id);
-  walker.Assign(*plan.root, root_pid, -1);
+  walker.Assign(*plan.root, root_pid, -1, false);
+
+  analysis.postorder.reserve(n);
+  FillPostorder(*plan.root, &analysis.postorder);
+  FillFreezeAndWeightTopology(plan, &analysis);
+
+  analysis.est_seed.resize(n);
+  for (int i = 0; i < n; ++i) {
+    analysis.est_seed[i] = std::max(0.0, plan.node(i).est_rows);
+  }
+  return analysis;
+}
+
+PlanAnalysis AnalyzePlan(const Plan& plan, const Catalog* catalog) {
+  PlanAnalysis analysis = AnalyzePlan(plan);
+  if (catalog != nullptr) FillCatalogStatics(plan, *catalog, &analysis);
   return analysis;
 }
 

@@ -1,9 +1,11 @@
 #ifndef LQS_LQS_PIPELINE_H_
 #define LQS_LQS_PIPELINE_H_
 
+#include <limits>
 #include <vector>
 
 #include "exec/plan.h"
+#include "storage/catalog.h"
 
 namespace lqs {
 
@@ -26,6 +28,25 @@ struct PipelineInfo {
   std::vector<int> child_pipelines;
 };
 
+/// Per-node catalog constants hoisted out of the per-snapshot estimation
+/// path. Filled only by the catalog-aware AnalyzePlan overload; everything
+/// here is a pure function of (plan node, catalog), so computing it once at
+/// estimator construction and never again is exact, not approximate.
+struct NodeStatics {
+  /// Catalog row count of the node's table; < 0 when the node reads no
+  /// table or the catalog has no entry for it.
+  double table_rows = -1.0;
+  /// Same quantity in the convention the Appendix A bound formulas use:
+  /// +infinity when unknown (an unknown table bounds nothing).
+  double bound_table_rows = std::numeric_limits<double>::infinity();
+  double scan_cpu_ms = 0.0;  ///< §4.6 static CPU term of a scan access path
+  double scan_io_ms = 0.0;   ///< §4.6 static I/O term of a scan access path
+  /// True for an uncorrelated full scan (scan access path, no pushed
+  /// predicate, no bitmap, not on an NL-inner side): its total output per
+  /// execution is exactly the table size.
+  bool uncorrelated_full_scan = false;
+};
+
 /// Static plan decomposition shared by all estimator features.
 struct PlanAnalysis {
   std::vector<PipelineInfo> pipelines;
@@ -44,6 +65,51 @@ struct PlanAnalysis {
   /// side, else -1 (innermost such join).
   std::vector<int> enclosing_nlj;
 
+  // --- Hoisted traversal orders and freeze topology (all plan-static) ---
+  /// Plan node ids, children before parents — the iteration order of the
+  /// refinement pass, hoisted so the hot path never re-walks child pointers.
+  std::vector<int> postorder;
+  /// node id -> true when ANY edge on the node's path from the plan root is
+  /// the inner input of a Nested Loops join — including inner sides entered
+  /// in an ancestor pipeline. Such nodes can be re-bound (re-executed), so
+  /// their DMV counters are not final even after `finished`; every
+  /// incremental freeze is gated on this being false. Note the difference
+  /// from on_nlj_inner_side, which only tracks inner sides within the
+  /// node's own pipeline.
+  std::vector<bool> under_nlj_inner;
+  /// pipeline id -> true when no member node is under_nlj_inner: once every
+  /// member reports `finished`, all counters feeding the pipeline's alpha,
+  /// refined rows and bounds are final, so frozen values stay exact.
+  std::vector<bool> pipeline_freezable;
+
+  // --- Hoisted §4.6 weight attribution (plan-static) ---
+  /// One additive term of a pipeline's weight. Own terms contribute the
+  /// operator's max(CPU, I/O); boundary terms contribute a blocking
+  /// operator's input-phase cost, attributed to the pipeline it temporally
+  /// executes with (its blocked child's pipeline, §4.5).
+  struct WeightContrib {
+    int node = -1;
+    bool boundary = false;
+  };
+  /// pipeline id -> its weight terms (own nodes first, then boundary terms
+  /// scattered from blocking operators in parent pipelines).
+  std::vector<std::vector<WeightContrib>> weight_contribs;
+  /// pipeline id -> sorted unique pipeline ids whose refined cardinalities
+  /// feed its weight (itself included).
+  std::vector<std::vector<int>> weight_deps;
+  /// pipeline id -> every pipeline in weight_deps is freezable, so the
+  /// weight is a constant once they have all finished.
+  std::vector<bool> weight_freezable;
+
+  /// max(0, est_rows) per node: the N̂ seed vector, hoisted so the per-call
+  /// seeding is one flat copy instead of a pointer-chasing loop.
+  std::vector<double> est_seed;
+
+  /// Catalog statics per node; filled (and flagged) only by the
+  /// catalog-aware AnalyzePlan overload.
+  std::vector<NodeStatics> node_statics;
+  bool has_catalog_statics = false;
+
   int pipeline_count() const { return static_cast<int>(pipelines.size()); }
 };
 
@@ -56,6 +122,12 @@ struct PlanAnalysis {
 /// All other edges — including both Nested Loops inputs, Merge Join inputs
 /// and Exchange inputs — stay within the parent's pipeline.
 PlanAnalysis AnalyzePlan(const Plan& plan);
+
+/// Catalog-aware overload: additionally hoists the per-node catalog
+/// constants (table sizes, scan cost terms) into node_statics, so the
+/// estimator's per-snapshot path never touches the catalog's string-keyed
+/// maps. `catalog` may be null, in which case this is AnalyzePlan(plan).
+PlanAnalysis AnalyzePlan(const Plan& plan, const Catalog* catalog);
 
 /// True when the edge from `parent` to its `child_index`-th child is a
 /// blocking boundary per the rules above.

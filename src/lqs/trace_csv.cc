@@ -61,8 +61,10 @@ Status WriteProgressCsv(const Plan& plan, const Catalog& catalog,
 
   ProgressEstimator estimator(&plan, &catalog, options);
   const double total = trace.total_elapsed_ms;
+  ProgressEstimator::Workspace workspace;
+  ProgressReport report;
   for (const ProfileSnapshot& snap : trace.snapshots) {
-    ProgressReport report = estimator.Estimate(snap);
+    estimator.EstimateInto(snap, &workspace, &report);
     double sum_k = 0;
     double sum_n = 0;
     for (size_t i = 0; i < snap.operators.size(); ++i) {

@@ -19,7 +19,7 @@ uint64_t MonitorService::PackOptions(const EstimatorOptions& o) {
        {o.use_driver_nodes, o.refine_cardinality, o.bound_cardinality,
         o.semi_blocking_adjust, o.two_phase_blocking, o.use_weights,
         o.critical_path_only, o.storage_predicate_io, o.batch_mode_segments,
-        o.interpolate_refinement, o.propagate_refinement}) {
+        o.interpolate_refinement, o.propagate_refinement, o.incremental}) {
     if (flag) bits |= uint64_t{1} << shift;
     ++shift;
   }
@@ -140,9 +140,13 @@ void MonitorService::ComputeStatus(size_t index, double now_ms,
     return;
   }
   const auto start = std::chrono::steady_clock::now();
-  out->report = session.checker != nullptr
-                    ? session.checker->EstimateChecked(*out->snapshot)
-                    : session.estimator->Estimate(*out->snapshot);
+  if (session.checker != nullptr) {
+    session.checker->EstimateCheckedInto(*out->snapshot, &session.workspace,
+                                         &out->report);
+  } else {
+    session.estimator->EstimateInto(*out->snapshot, &session.workspace,
+                                    &out->report);
+  }
   *latency_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
@@ -174,9 +178,13 @@ void MonitorService::ComputeRemoteStatus(Session* session, SessionStatus* out,
     return;
   }
   const auto start = std::chrono::steady_clock::now();
-  out->report = session->checker != nullptr
-                    ? session->checker->EstimateChecked(*out->snapshot)
-                    : session->estimator->Estimate(*out->snapshot);
+  if (session->checker != nullptr) {
+    session->checker->EstimateCheckedInto(*out->snapshot, &session->workspace,
+                                          &out->report);
+  } else {
+    session->estimator->EstimateInto(*out->snapshot, &session->workspace,
+                                     &out->report);
+  }
   *latency_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
@@ -232,10 +240,14 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
       case SessionState::kDone: ++last_done_; break;
     }
   }
+  last_tick_estimate_ms_ = 0;
   for (double latency : latencies) {
     if (latency >= 0) {
       ++reports_computed_;
       estimate_latencies_ms_.push_back(latency);
+      estimate_wall_ms_ += latency;
+      last_tick_estimate_ms_ += latency;
+      max_estimate_latency_ms_ = std::max(max_estimate_latency_ms_, latency);
     }
   }
   return statuses;
@@ -335,6 +347,13 @@ MonitorStats MonitorService::stats() const {
     *p50 = at(0.50);
     *p95 = at(0.95);
   };
+  stats.estimate_wall_ms = estimate_wall_ms_;
+  stats.max_estimate_latency_ms = max_estimate_latency_ms_;
+  stats.last_tick_estimate_ms = last_tick_estimate_ms_;
+  if (estimate_wall_ms_ > 0) {
+    stats.estimates_per_sec = static_cast<double>(reports_computed_) /
+                              (estimate_wall_ms_ / 1000.0);
+  }
   percentiles(estimate_latencies_ms_, &stats.p50_estimate_latency_ms,
               &stats.p95_estimate_latency_ms);
   percentiles(tick_latencies_ms_, &stats.p50_tick_latency_ms,

@@ -98,9 +98,20 @@ struct MonitorStats {
   /// this below the session count when sessions share a plan.
   size_t estimators_cached = 0;
   int num_threads = 0;
-  /// Wall-clock percentiles of one Estimate() (+ invariant checks) call.
+  /// Wall-clock percentiles of one EstimateInto (+ invariant checks) call.
   double p50_estimate_latency_ms = 0;
   double p95_estimate_latency_ms = 0;
+  /// Largest single estimate latency seen over the service's life.
+  double max_estimate_latency_ms = 0;
+  /// Total wall-clock time spent inside estimator calls (sum over all
+  /// sessions and ticks) and the resulting estimator-only throughput.
+  /// Contrast with reports_per_sec, which divides by whole-tick wall time
+  /// (fan-out, barrier and transport included).
+  double estimate_wall_ms = 0;
+  double estimates_per_sec = 0;
+  /// Sum of estimate latencies within the most recent tick — the per-tick
+  /// estimation cost a dashboard would graph.
+  double last_tick_estimate_ms = 0;
   /// Wall-clock percentiles of one whole Tick() (all sessions, fan-out +
   /// barrier).
   double p50_tick_latency_ms = 0;
@@ -244,6 +255,13 @@ class MonitorService {
     /// Latest state, written by ComputeStatus (same ownership as above) so
     /// the driver can detect completion and aggregate transport stats.
     SessionState last_state = SessionState::kWaiting;
+    /// Estimation scratch reused across ticks, bound to `estimator` on the
+    /// first estimate. Estimators are shared across sessions via the cache,
+    /// but each session owns its workspace — exactly the one-workspace-per-
+    /// estimator-per-thread contract, because a session is touched by
+    /// exactly one pool worker per tick and ticks are ordered by the
+    /// ParallelFor barrier (the same ownership rule as `checker`/`client`).
+    ProgressEstimator::Workspace workspace;
   };
 
   /// Cache key: estimator identity is the plan + catalog + the full option
@@ -282,6 +300,9 @@ class MonitorService {
   size_t last_waiting_ LQS_GUARDED_BY(stats_mu_) = 0;
   size_t last_done_ LQS_GUARDED_BY(stats_mu_) = 0;
   double wall_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
+  double estimate_wall_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
+  double max_estimate_latency_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
+  double last_tick_estimate_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
   std::vector<double> estimate_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
   std::vector<double> tick_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
   /// Transport aggregates, recomputed by the driver after each tick's

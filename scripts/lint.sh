@@ -24,6 +24,13 @@
 #      -Wthread-safety gate and skip the lqs::Mutex lock-rank checker
 #      (DESIGN.md §9). Suppress a deliberate use with
 #      `// lint:allow-raw-mutex` on the same line.
+#   5. clang-format conformance (informational unless LINT_STRICT_FORMAT=1).
+#   6. tools/lqs_verify: Status-discipline, LQS_NOALLOC allocation-freedom,
+#      and layer-DAG checks over the whole tree (DESIGN.md §12). Needs only
+#      python3; skipped with a notice when absent.
+#
+# Every rule always runs; the script exits non-zero if ANY of them failed
+# (the failure count aggregates — one broken rule never masks another).
 
 set -u
 cd "$(dirname "$0")/.."
@@ -102,6 +109,18 @@ if command -v clang-format >/dev/null 2>&1; then
   fi
 else
   echo "lint: clang-format not installed; skipping format check" >&2
+fi
+
+# ---- 6. lqs-verify static analysis ----------------------------------------
+# Call-graph checks: Status results must be consulted, LQS_NOALLOC functions
+# must stay allocation-free through every non-virtual chain, and the src/
+# layer DAG must hold. The built-in frontend needs nothing beyond python3.
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 tools/lqs_verify/lqs_verify.py --root .; then
+    fail "lqs-verify reported findings (detail above)"
+  fi
+else
+  echo "lint: python3 not installed; skipping lqs-verify" >&2
 fi
 
 # ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/noalloc.h"
 #include "common/status.h"
 #include "exec/plan.h"
 #include "lqs/pipeline.h"
@@ -29,6 +30,9 @@ class ValidationReport {
   bool ok() const { return issues_.empty(); }
   const std::vector<ValidationIssue>& issues() const { return issues_; }
 
+  LQS_ALLOC_OK(
+      "violation reporting: only reached after an invariant has already "
+      "failed, never on the steady-state estimation path")
   void Add(std::string check, int node_id, int pipeline_id,
            std::string detail);
   /// Merges another report's issues into this one.

@@ -10,7 +10,12 @@ namespace lqs {
 /// Error-handling primitive in the RocksDB/Arrow idiom: exceptions are not
 /// used anywhere in this codebase; fallible functions return a Status (or a
 /// StatusOr<T>, see statusor.h) that the caller must inspect.
-class Status {
+///
+/// [[nodiscard]] makes "must inspect" a compile-time contract: dropping a
+/// returned Status on the floor is a -Werror=unused-result build break, and
+/// tools/lqs_verify's status-discipline checker additionally flags results
+/// that are bound to a variable but never consulted (DESIGN.md §12).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

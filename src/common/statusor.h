@@ -10,9 +10,11 @@
 namespace lqs {
 
 /// A value-or-error union, in the absl::StatusOr idiom. Either holds a T or a
-/// non-OK Status explaining why the T could not be produced.
+/// non-OK Status explaining why the T could not be produced. [[nodiscard]]
+/// for the same reason as Status: an ignored StatusOr silently swallows the
+/// error arm (enforced by -Werror=unused-result and tools/lqs_verify).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from Status and from T keeps call sites terse
   /// (`return Status::NotFound(...)` / `return value`), matching absl.

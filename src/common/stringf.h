@@ -5,12 +5,18 @@
 #include <cstdio>
 #include <string>
 
+#include "common/noalloc.h"
+
 namespace lqs {
 
 /// printf-style formatting into std::string (GCC 12 lacks std::format).
 inline std::string StringF(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+LQS_ALLOC_OK(
+    "diagnostic string formatting: returns std::string by design and is "
+    "only called on violation/reporting branches, never on the per-tick "
+    "steady state — tests/estimator_alloc_test.cc is the runtime backstop")
 inline std::string StringF(const char* fmt, ...) {
   va_list ap;
   va_start(ap, fmt);

@@ -295,7 +295,9 @@ void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
                        const PlanAnalysis* analysis,
                        const std::vector<uint8_t>* frozen,
                        CardinalityBounds* out, uint64_t* derivations) {
+  // LQS_ALLOC_OK("sized to the plan on first use; capacity-reusing after")
   out->lower.assign(plan.size(), 0.0);
+  // LQS_ALLOC_OK("sized to the plan on first use; capacity-reusing after")
   out->upper.assign(plan.size(), kInf);
   BoundsState st{&plan, &catalog, &snapshot, analysis, frozen, out};
   st.Compute(*plan.root, 1.0, false);

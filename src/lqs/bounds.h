@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/noalloc.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
 #include "lqs/pipeline.h"
@@ -48,11 +49,14 @@ CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
 /// out-of-order replay exact. `derivations` (optional) counts the nodes
 /// whose coefficients WERE derived, so tests can assert that finished
 /// operators stop paying for re-derivation.
-void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
-                       const ProfileSnapshot& snapshot,
-                       const PlanAnalysis* analysis,
-                       const std::vector<uint8_t>* frozen,
-                       CardinalityBounds* out, uint64_t* derivations);
+/// LQS_NOALLOC: the Appendix A derivation sits on the per-snapshot hot
+/// path of every bounding estimator configuration.
+LQS_NOALLOC void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
+                                   const ProfileSnapshot& snapshot,
+                                   const PlanAnalysis* analysis,
+                                   const std::vector<uint8_t>* frozen,
+                                   CardinalityBounds* out,
+                                   uint64_t* derivations);
 
 }  // namespace lqs
 

@@ -649,6 +649,7 @@ void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
   const std::vector<double>& n_hat = ws->n_hat;
   report->refined_rows = n_hat;          // capacity-reusing copies
   report->pipeline_progress = ws->alpha;
+  // LQS_ALLOC_OK("first-call sizing; capacity-reusing no-op thereafter")
   report->operator_progress.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     report->operator_progress[i] = OperatorProgress(snapshot, i, n_hat);
@@ -688,6 +689,7 @@ void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
     }
     report->query_progress =
         sum_n > 0 ? std::clamp(sum_k / sum_n, 0.0, 1.0) : 0.0;
+    // LQS_ALLOC_OK("first-call sizing; capacity-reusing no-op thereafter")
     report->pipeline_weight.assign(static_cast<size_t>(num_pipelines), 1.0);
     return;
   }
@@ -700,6 +702,7 @@ void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
   PipelineWeightsInto(n_hat, ws);
   const std::vector<double>& weight = ws->weight;
 
+  // LQS_ALLOC_OK("sized by PrepareWorkspace; assign reuses capacity")
   ws->on_path.assign(static_cast<size_t>(num_pipelines), 1);
   if (options_.critical_path_only) {
     // Longest root-to-leaf path in the pipeline tree by total weight.
@@ -718,6 +721,7 @@ void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
       }
       best[p] += best_sub;
     }
+    // LQS_ALLOC_OK("sized by PrepareWorkspace; assign reuses capacity")
     ws->on_path.assign(static_cast<size_t>(num_pipelines), 0);
     for (int p = 0; p >= 0; p = best_child[p]) ws->on_path[p] = 1;
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/noalloc.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
 #include "lqs/bounds.h"
@@ -157,8 +158,12 @@ class ProgressEstimator {
   /// (vectors are re-sized in place, reusing capacity) using `*workspace`
   /// for all intermediate state. Produces bit-identical reports to
   /// Estimate() for any snapshot order; see the Workspace contract above.
-  void EstimateInto(const ProfileSnapshot& snapshot, Workspace* workspace,
-                    ProgressReport* report) const;
+  /// LQS_NOALLOC: steady-state calls must stay heap-free — statically
+  /// checked by tools/lqs_verify (noalloc), dynamically by
+  /// tests/estimator_alloc_test.cc.
+  LQS_NOALLOC void EstimateInto(const ProfileSnapshot& snapshot,
+                                Workspace* workspace,
+                                ProgressReport* report) const;
 
   const PlanAnalysis& analysis() const { return analysis_; }
   const EstimatorOptions& options() const { return options_; }
@@ -174,6 +179,9 @@ class ProgressEstimator {
  private:
   /// Sizes the workspace buffers on first use and pins the workspace to
   /// this estimator; aborts on an owner/shape mismatch.
+  LQS_ALLOC_OK(
+      "first-call sizing path: allocates exactly once per workspace "
+      "binding, a no-op on every steady-state call (owner check at entry)")
   void PrepareWorkspace(Workspace* ws) const;
 
   /// Fills the per-call freeze masks from `snapshot` (no-op masks when
@@ -216,8 +224,10 @@ class ProgressEstimator {
   /// attributed to the pipeline it temporally executes with. Weights of
   /// pipelines whose contributing cardinalities are all frozen are served
   /// from the workspace cache.
-  void PipelineWeightsInto(const std::vector<double>& n_hat, Workspace* ws)
-      const;
+  /// LQS_NOALLOC: the §4.6 weight path runs once per estimate inside
+  /// EstimateInto and must stay heap-free on its own as well.
+  LQS_NOALLOC void PipelineWeightsInto(const std::vector<double>& n_hat,
+                                       Workspace* ws) const;
 
   /// §4.6 cost terms of one operator at the refined cardinalities: the
   /// operator's own-pipeline max(CPU, I/O) share, and the blocking input

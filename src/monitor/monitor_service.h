@@ -12,6 +12,7 @@
 #include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
 #include "common/mutex.h"
+#include "common/noalloc.h"
 #include "common/thread_annotations.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
@@ -273,8 +274,14 @@ class MonitorService {
                                            const EstimatorOptions& options);
 
   /// Computes one session's status at `now_ms` (runs on a pool worker).
-  void ComputeStatus(size_t index, double now_ms, SessionStatus* out,
-                     double* latency_ms);
+  /// LQS_NOALLOC: this is the steady-state body of Tick() — one call per
+  /// active session per tick, fanned out across the pool. Its deliberate
+  /// allocation boundaries (workspace sizing, transport decode, violation
+  /// reporting) are LQS_ALLOC_OK-annotated at their definitions;
+  /// everything else must stay heap-free (tests/estimator_alloc_test.cc
+  /// bounds the whole Tick at runtime).
+  LQS_NOALLOC void ComputeStatus(size_t index, double now_ms,
+                                 SessionStatus* out, double* latency_ms);
   /// Endpoint-backed arm of ComputeStatus: polls the session's client and
   /// estimates off whatever snapshot the link yielded.
   void ComputeRemoteStatus(Session* session, SessionStatus* out,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/noalloc.h"
 #include "common/rng.h"
 #include "dmv/query_profile.h"
 #include "remote/endpoint.h"
@@ -119,6 +120,10 @@ class PollingClient {
   /// One monitor tick at virtual time `now_ms`. Calls must use
   /// non-decreasing times. The returned view (and its snapshot pointer) is
   /// valid until the next Poll().
+  LQS_ALLOC_OK(
+      "transport decode path: request/response buffers and accepted "
+      "snapshots allocate by design; the monitor's per-tick allocation "
+      "budget for this arm is bounded by tests/estimator_alloc_test.cc")
   const ClientView& Poll(double now_ms);
 
   /// Last view without polling again.

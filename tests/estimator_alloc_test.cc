@@ -9,6 +9,14 @@
 // below us, so this test runs unchanged under ASan/UBSan and TSan builds.
 // Only allocations between StartCounting/StopCounting are charged; gtest's
 // own bookkeeping outside the window is free.
+//
+// Each assertion below is PAIRED with an LQS_NOALLOC annotation in the
+// headers via an `LQS_NOALLOC_PAIRED: <qualified-name>` marker comment.
+// tools/lqs_verify cross-checks the two sets in both directions: deleting
+// an annotation orphans the marker here, and deleting a marker (or the
+// test) orphans the annotation — either way the static-analysis CI job
+// fails, so the static contract and its runtime enforcement cannot drift
+// apart silently.
 
 #include <atomic>
 #include <cstdint>
@@ -193,6 +201,12 @@ TEST_F(EstimatorAllocTest, SteadyStateEstimateIntoAllocatesNothing) {
       estimator.EstimateInto(snap, &workspace, &report);
     }
     estimator.EstimateInto(result.trace.final_snapshot, &workspace, &report);
+    // Runtime side of the static contract (src/lqs/estimator.h, bounds.h):
+    // the presets walk every annotated estimation path — bounding_only
+    // drives the Appendix-A derivation, lqs drives the §4.6 weight path.
+    // LQS_NOALLOC_PAIRED: ProgressEstimator::EstimateInto
+    // LQS_NOALLOC_PAIRED: ComputeBoundsInto
+    // LQS_NOALLOC_PAIRED: ProgressEstimator::PipelineWeightsInto
     EXPECT_EQ(window.count(), 0u)
         << "preset " << preset.name << ": steady-state EstimateInto "
         << "performed heap allocations";
@@ -263,6 +277,9 @@ TEST_F(EstimatorAllocTest, MonitorTickStaysWithinAllocationBudget) {
     (void)monitor.Tick(now);
   }
   const uint64_t per_tick_budget = 8 * kSessions + 64;
+  // Runtime side of the static contract (src/monitor/monitor_service.h):
+  // the measured ticks run the annotated steady-state session body.
+  // LQS_NOALLOC_PAIRED: MonitorService::ComputeStatus
   EXPECT_LE(window.count(),
             per_tick_budget * static_cast<uint64_t>(kMeasuredTicks))
       << "steady-state monitor ticks allocated "

@@ -324,11 +324,11 @@ TEST(WireTest, GarbageInputsFailWithoutCrashing) {
     std::string garbage(rng.NextBelow(200), '\0');
     for (auto& c : garbage) c = static_cast<char>(rng.NextBelow(256));
     // Any status is fine; surviving the bytes is the property.
-    (void)DecodeSnapshot(garbage);
-    (void)DecodeTrace(garbage);
-    (void)DecodePlanSummary(garbage);
-    (void)DecodePollResponse(garbage);
-    (void)WireFrameSize(garbage);
+    (void)DecodeSnapshot(garbage);      // lqs-verify: status-ok(fuzz loop)
+    (void)DecodeTrace(garbage);         // lqs-verify: status-ok(fuzz loop)
+    (void)DecodePlanSummary(garbage);   // lqs-verify: status-ok(fuzz loop)
+    (void)DecodePollResponse(garbage);  // lqs-verify: status-ok(fuzz loop)
+    (void)WireFrameSize(garbage);       // lqs-verify: status-ok(fuzz loop)
   }
 }
 

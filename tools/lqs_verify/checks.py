@@ -1,0 +1,508 @@
+"""The three lqs-verify checkers: status-discipline, noalloc, layering.
+
+Each checker consumes the frontend-agnostic model.SourceModel and returns a
+list of model.Finding. Checker semantics (and the escape hatches) are
+specified in DESIGN.md §12 and pinned down by the fixture suite in
+testdata/ + test_lqs_verify.py.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from model import Finding, FunctionInfo, SourceModel
+
+# ---------------------------------------------------------------------------
+# status-discipline
+
+
+def check_status(model: SourceModel) -> List[Finding]:
+    """Flag Status/StatusOr-returning calls whose result is dropped.
+
+    Two shapes:
+      * discarded: the call is a bare expression statement (including an
+        explicit `(void)` cast — intent must be spelled out with a
+        `// lqs-verify: status-ok(reason)` suppression instead);
+      * bound but never consulted: `Status s = f(...);` where `s` does not
+        appear again in the enclosing body.
+
+    The compiler already rejects plain discards ([[nodiscard]] +
+    -Werror=unused-result); this checker keeps flagging them for
+    configurations built without the warning, and adds the never-consulted
+    analysis the compiler cannot do.
+    """
+    findings: List[Finding] = []
+    for fn in model.functions:
+        if not fn.is_definition:
+            continue
+        for call in fn.calls:
+            if call.name not in model.status_names:
+                continue
+            sup = model.suppression_for(fn.file, call.line, "status-ok")
+            if call.discarded:
+                if sup is not None:
+                    if not sup.justification:
+                        findings.append(
+                            Finding(
+                                "status", fn.file, call.line,
+                                "status-ok suppression requires a "
+                                "non-empty reason"))
+                    continue
+                how = ("explicitly (void)-cast away"
+                       if call.void_cast else "discarded")
+                findings.append(
+                    Finding(
+                        "status", fn.file, call.line,
+                        f"result of Status-returning call '{call.name}' is "
+                        f"{how} in '{fn.qualname}' — consult it or suppress "
+                        "with // lqs-verify: status-ok(reason)"))
+            elif call.assigned_to is not None and not call.consulted:
+                if sup is not None:
+                    if not sup.justification:
+                        findings.append(
+                            Finding(
+                                "status", fn.file, call.line,
+                                "status-ok suppression requires a "
+                                "non-empty reason"))
+                    continue
+                findings.append(
+                    Finding(
+                        "status", fn.file, call.line,
+                        f"Status result of '{call.name}' is bound to "
+                        f"'{call.assigned_to}' but never consulted in "
+                        f"'{fn.qualname}'"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# noalloc
+
+
+class _Annotation:
+    __slots__ = ("noalloc", "alloc_ok", "virtual", "decl_site")
+
+    def __init__(self) -> None:
+        self.noalloc = False
+        self.alloc_ok: Optional[str] = None
+        self.virtual = False
+        self.decl_site: Optional[Tuple[str, int]] = None
+
+
+def _merge_annotations(model: SourceModel) -> Dict[str, _Annotation]:
+    """Annotations and virtual-ness unified across decls and defs of the
+    same qualified name (headers carry the annotations; .cc files the
+    bodies)."""
+    merged: Dict[str, _Annotation] = {}
+    for fn in model.functions:
+        ann = merged.setdefault(fn.qualname, _Annotation())
+        ann.noalloc = ann.noalloc or fn.noalloc
+        ann.virtual = ann.virtual or fn.is_virtual
+        if fn.alloc_ok is not None:
+            if ann.alloc_ok is None or len(fn.alloc_ok) > len(ann.alloc_ok):
+                ann.alloc_ok = fn.alloc_ok
+        if (fn.noalloc or fn.alloc_ok is not None) and ann.decl_site is None:
+            ann.decl_site = (fn.file, fn.line)
+    return merged
+
+
+def _resolve(call, defs_by_name, visible) -> List[FunctionInfo]:
+    candidates = defs_by_name.get(call.name, [])
+    if call.qualifier:
+        qualified = [
+            fn for fn in candidates
+            if fn.qualname.endswith(f"{call.qualifier}::{call.name}")
+        ]
+        if qualified:
+            candidates = qualified
+    if visible is not None:
+        candidates = [fn for fn in candidates if visible(fn.qualname)]
+    return candidates
+
+
+class _Visibility:
+    """Include-closure-based call resolution filter.
+
+    Name-only resolution conflates unrelated functions that share a simple
+    name (`report_.Add` in analysis/ vs `QueryList::Add` in workload/). A
+    candidate is admissible from a caller file only when some declaration or
+    definition of its qualified name lives in that file or its transitive
+    include closure — mirroring what the compiler could actually have
+    resolved the call to.
+    """
+
+    def __init__(self, model: SourceModel, root: str) -> None:
+        self._root = root
+        self._scanned = {os.path.normpath(p): p for p in model.includes}
+        self._graph: Dict[str, List[str]] = {}
+        for path, includes in model.includes.items():
+            self._graph[path] = [
+                t for t in (self._resolve_include(inc)
+                            for _, inc in includes) if t is not None
+            ]
+        self._decl_files: Dict[str, Set[str]] = {}
+        for fn in model.functions:
+            self._decl_files.setdefault(fn.qualname, set()).add(fn.file)
+        self._closures: Dict[str, Set[str]] = {}
+
+    def _resolve_include(self, include: str) -> Optional[str]:
+        for base in ("src", "."):
+            candidate = os.path.normpath(
+                os.path.join(self._root, base, include))
+            if candidate in self._scanned:
+                return self._scanned[candidate]
+        return None
+
+    def closure(self, path: str) -> Set[str]:
+        cached = self._closures.get(path)
+        if cached is not None:
+            return cached
+        seen: Set[str] = {path}
+        stack = [path]
+        while stack:
+            for target in self._graph.get(stack.pop(), []):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        self._closures[path] = seen
+        return seen
+
+    def from_file(self, caller_file: str):
+        visible_files = self.closure(caller_file)
+
+        def visible(qualname: str) -> bool:
+            return not self._decl_files.get(qualname, set()).isdisjoint(
+                visible_files)
+
+        return visible
+
+
+_PAIRED = re.compile(r"LQS_NOALLOC_PAIRED:\s*([A-Za-z_][\w:]*)")
+
+
+def check_noalloc(model: SourceModel,
+                  pairing_file: Optional[str] = None,
+                  pairing_text: Optional[str] = None,
+                  root: Optional[str] = None) -> List[Finding]:
+    """Transitive call-graph allocation-freedom of LQS_NOALLOC functions.
+
+    From every definition whose qualified name carries LQS_NOALLOC, walk all
+    resolvable non-virtual call chains. Any reachable lexical allocation
+    site (operator new, the malloc family, make_unique/make_shared, growing
+    container member calls) is a finding, reported with the full chain —
+    unless the function is an LQS_ALLOC_OK boundary or the allocation line
+    carries a comment-level LQS_ALLOC_OK("reason"). Empty justifications
+    are findings in their own right.
+
+    With a pairing file (tests/estimator_alloc_test.cc), additionally
+    cross-checks the LQS_NOALLOC annotation set against the runtime test's
+    `LQS_NOALLOC_PAIRED:` markers, in both directions.
+    """
+    findings: List[Finding] = []
+    annotations = _merge_annotations(model)
+    defs_by_name = model.definitions_by_name()
+    visibility = _Visibility(model, root) if root is not None else None
+
+    # Escape hatches with empty justifications (function-level).
+    for qualname, ann in sorted(annotations.items()):
+        if ann.alloc_ok is not None and not ann.alloc_ok.strip():
+            file, line = ann.decl_site if ann.decl_site else ("<unknown>", 0)
+            findings.append(
+                Finding(
+                    "noalloc", file, line,
+                    f"LQS_ALLOC_OK on '{qualname}' requires a non-empty "
+                    "justification string"))
+        if ann.noalloc and ann.alloc_ok is not None:
+            file, line = ann.decl_site if ann.decl_site else ("<unknown>", 0)
+            findings.append(
+                Finding(
+                    "noalloc", file, line,
+                    f"'{qualname}' is marked both LQS_NOALLOC and "
+                    "LQS_ALLOC_OK — pick one"))
+
+    roots = [
+        fn for fn in model.functions
+        if fn.is_definition and annotations[fn.qualname].noalloc
+    ]
+    reported: Set[Tuple[str, int, str]] = set()
+    for root in roots:
+        visited: Set[str] = set()
+        # Stack of (function, chain-so-far). Chain entries are rendered
+        # "qualname (file:line)".
+        stack: List[Tuple[FunctionInfo, List[str]]] = [
+            (root, [f"{root.qualname} ({root.file}:{root.line})"])
+        ]
+        while stack:
+            fn, chain = stack.pop()
+            if fn.qualname in visited:
+                continue
+            visited.add(fn.qualname)
+            for alloc in fn.allocs:
+                sup = model.suppression_for(fn.file, alloc.line, "alloc-ok")
+                if sup is not None:
+                    if not sup.justification:
+                        key = (fn.file, sup.line, "empty-sup")
+                        if key not in reported:
+                            reported.add(key)
+                            findings.append(
+                                Finding(
+                                    "noalloc", fn.file, sup.line,
+                                    "LQS_ALLOC_OK requires a non-empty "
+                                    "justification string"))
+                    continue
+                key = (fn.file, alloc.line, root.qualname)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        "noalloc", fn.file, alloc.line,
+                        f"'{root.qualname}' is LQS_NOALLOC but reaches "
+                        f"allocating operation '{alloc.what}' in "
+                        f"'{fn.qualname}'",
+                        chain=chain + [f"{alloc.what} "
+                                       f"({fn.file}:{alloc.line})"]))
+            visible = (visibility.from_file(fn.file)
+                       if visibility is not None else None)
+            for call in fn.calls:
+                sup = model.suppression_for(fn.file, call.line, "alloc-ok")
+                if sup is not None:
+                    # A line-level LQS_ALLOC_OK also stops traversal into
+                    # calls made on that line.
+                    if not sup.justification:
+                        key = (fn.file, sup.line, "empty-sup")
+                        if key not in reported:
+                            reported.add(key)
+                            findings.append(
+                                Finding(
+                                    "noalloc", fn.file, sup.line,
+                                    "LQS_ALLOC_OK requires a non-empty "
+                                    "justification string"))
+                    continue
+                for callee in _resolve(call, defs_by_name, visible):
+                    ann = annotations[callee.qualname]
+                    if ann.virtual:
+                        continue  # non-virtual chains only
+                    if ann.alloc_ok is not None:
+                        continue  # deliberate allocation boundary
+                    if callee.qualname in visited:
+                        continue
+                    stack.append(
+                        (callee,
+                         chain + [f"{callee.qualname} "
+                                  f"({fn.file}:{call.line})"]))
+
+    # Annotation <-> runtime-test pairing.
+    if pairing_file is not None:
+        if pairing_text is None:
+            try:
+                with open(pairing_file, "r", encoding="utf-8") as handle:
+                    pairing_text = handle.read()
+            except OSError as err:
+                findings.append(
+                    Finding("noalloc", pairing_file, 0,
+                            f"cannot read pairing file: {err}"))
+                pairing_text = ""
+        paired = {
+            name[len("lqs::"):] if name.startswith("lqs::") else name
+            for name in _PAIRED.findall(pairing_text)
+        }
+        annotated = {
+            qualname for qualname, ann in annotations.items() if ann.noalloc
+        }
+        for name in sorted(paired - annotated):
+            line = _line_of(pairing_text, name)
+            findings.append(
+                Finding(
+                    "noalloc", pairing_file, line,
+                    f"runtime allocation check is paired with LQS_NOALLOC "
+                    f"on '{name}', but no such annotation exists in the "
+                    "tree — remove the check or restore the annotation"))
+        for name in sorted(annotated - paired):
+            ann = annotations[name]
+            file, line = ann.decl_site if ann.decl_site else ("<unknown>", 0)
+            findings.append(
+                Finding(
+                    "noalloc", file, line,
+                    f"LQS_NOALLOC on '{name}' has no paired runtime check "
+                    f"(add an 'LQS_NOALLOC_PAIRED: {name}' marker next to "
+                    f"the covering assertion in {pairing_file})"))
+    return findings
+
+
+def _line_of(text: str, needle: str) -> int:
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# layering
+
+# The architecture DAG: each src/ layer lists the layers it may depend on
+# (directly; the sets are transitively closed by construction). Lower layers
+# first. tests/, bench/, examples/ sit on top and may include anything.
+DEFAULT_LAYERS: Dict[str, Set[str]] = {
+    "common": set(),
+    "dmv": {"common"},
+    "storage": {"common"},
+    "exec": {"common", "dmv", "storage"},
+    "optimizer": {"common", "dmv", "exec", "storage"},
+    "lqs": {"common", "dmv", "exec", "storage"},
+    "analysis": {"common", "dmv", "exec", "storage", "lqs"},
+    "remote": {"common", "dmv", "exec", "storage"},
+    "workload": {"common", "dmv", "exec", "optimizer", "storage"},
+    "monitor": {
+        "common", "dmv", "exec", "storage", "lqs", "analysis", "remote"
+    },
+}
+
+
+def _config_cycle(layers: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """Kahn's algorithm over the layer config; returns a cycle if any."""
+    # indegree counts edges dep -> layer (layer depends on dep).
+    indegree = {
+        layer: len([d for d in deps if d in layers])
+        for layer, deps in layers.items()
+    }
+    queue = [layer for layer, deg in indegree.items() if deg == 0]
+    seen = 0
+    dependents: Dict[str, List[str]] = {layer: [] for layer in layers}
+    for layer, deps in layers.items():
+        for dep in deps:
+            if dep in dependents:
+                dependents[dep].append(layer)
+    while queue:
+        layer = queue.pop()
+        seen += 1
+        for dependent in dependents[layer]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                queue.append(dependent)
+    if seen == len(layers):
+        return None
+    return sorted(layer for layer, deg in indegree.items() if deg > 0)
+
+
+def check_layering(model: SourceModel,
+                   root: str,
+                   layers: Optional[Dict[str, Set[str]]] = None
+                   ) -> List[Finding]:
+    """Enforce the include DAG across src/ layers and reject include cycles.
+
+    * A file in src/<layer>/ may include "other/..." only when `other` is
+      the same layer or in the layer's allowed-dependency set.
+    * The configured DAG itself must be acyclic (a config error is a
+      finding, so CI catches a bad edit to the map).
+    * File-level include cycles are findings wherever they occur (any
+      directory), independent of the layer map.
+    """
+    if layers is None:
+        layers = DEFAULT_LAYERS
+    findings: List[Finding] = []
+
+    cycle = _config_cycle(layers)
+    if cycle is not None:
+        findings.append(
+            Finding(
+                "layering", "<layer-config>", 0,
+                "layer configuration contains a dependency cycle through: "
+                + ", ".join(cycle)))
+
+    for path, includes in sorted(model.includes.items()):
+        rel = os.path.relpath(path, root)
+        parts = rel.replace(os.sep, "/").split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue  # only src/<layer>/ files are rank-constrained
+        layer = parts[1]
+        allowed = layers.get(layer)
+        for line, include in includes:
+            include_layer = include.split("/", 1)[0]
+            if include_layer not in layers or include_layer == layer:
+                continue
+            if allowed is None:
+                findings.append(
+                    Finding(
+                        "layering", path, line,
+                        f"directory src/{layer}/ is not in the layer map — "
+                        "add it to DEFAULT_LAYERS (tools/lqs_verify/"
+                        "checks.py) with its allowed dependencies"))
+                break
+            if include_layer not in allowed:
+                ok = ", ".join(sorted(allowed)) if allowed else "(none)"
+                findings.append(
+                    Finding(
+                        "layering", path, line,
+                        f"layer '{layer}' may not include '{include}' — "
+                        f"'{include_layer}' is above or beside it in the "
+                        f"DAG (allowed dependencies: {ok})"))
+
+    findings.extend(_include_cycles(model, root))
+    return findings
+
+
+def _include_cycles(model: SourceModel, root: str) -> List[Finding]:
+    # Resolve include strings to scanned files: the codebase writes
+    # includes relative to src/ (e.g. "lqs/bounds.h") or the repo root
+    # (e.g. "tests/test_util.h").
+    scanned = {
+        os.path.normpath(path): path for path in model.includes
+    }
+
+    def resolve(include: str) -> Optional[str]:
+        for base in ("src", "."):
+            candidate = os.path.normpath(os.path.join(root, base, include))
+            if candidate in scanned:
+                return scanned[candidate]
+        return None
+
+    graph: Dict[str, List[Tuple[str, int]]] = {}
+    for path, includes in model.includes.items():
+        edges = []
+        for line, include in includes:
+            target = resolve(include)
+            if target is not None and target != path:
+                edges.append((target, line))
+        graph[path] = edges
+
+    findings: List[Finding] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    # Iterative DFS with an explicit color map (white/grey/black).
+    color: Dict[str, int] = {}
+    stack_path: List[str] = []
+
+    def visit(start: str) -> None:
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        while stack:
+            node, edge_idx = stack[-1]
+            if edge_idx == 0:
+                color[node] = 1
+                stack_path.append(node)
+            edges = graph.get(node, [])
+            if edge_idx >= len(edges):
+                stack.pop()
+                stack_path.pop()
+                color[node] = 2
+                continue
+            stack[-1] = (node, edge_idx + 1)
+            target, line = edges[edge_idx]
+            state = color.get(target, 0)
+            if state == 1:
+                cycle = stack_path[stack_path.index(target):] + [target]
+                canon = tuple(sorted(set(cycle)))
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    pretty = " -> ".join(
+                        os.path.relpath(f, root) for f in cycle)
+                    findings.append(
+                        Finding("layering", node, line,
+                                f"include cycle: {pretty}"))
+            elif state == 0:
+                stack.append((target, 0))
+
+    for path in sorted(graph):
+        if color.get(path, 0) == 0:
+            visit(path)
+    return findings

@@ -1,0 +1,286 @@
+"""libclang frontend for lqs-verify (clang.cindex).
+
+Preferred when the `clang` Python package and a libclang shared object are
+both available (e.g. CI installs the `libclang` wheel into a cached venv);
+lowers real clang ASTs into the same model.SourceModel the built-in
+frontend produces, so the checkers are frontend-agnostic. In environments
+without libclang — including the development container, which ships only
+libclang-cpp — the driver falls back to frontend_lite, whose behavior the
+fixture suite pins as the reference.
+
+Annotations arrive as [[clang::annotate]] attributes (see
+src/common/noalloc.h): "lqs::noalloc" and "lqs::alloc_ok:<justification>".
+Comment-level suppressions and the include graph are scanned from raw text
+via the shared helpers in model.py, identically to the lite frontend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from model import (AllocSite, CallSite, FunctionInfo, SourceModel,
+                   scan_includes, scan_suppressions)
+
+_ALLOC_FUNCTIONS = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "posix_memalign", "make_unique", "make_shared",
+}
+_CONTAINER_GROWTH = {
+    "push_back", "emplace_back", "emplace", "emplace_hint", "insert",
+    "resize", "reserve", "assign", "append", "push_front", "emplace_front",
+}
+
+
+class FrontendUnavailable(Exception):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as err:
+        raise FrontendUnavailable(f"clang.cindex not importable: {err}")
+    if not cindex.Config.loaded:
+        # Respect an explicit override, then let cindex try its defaults.
+        override = os.environ.get("LQS_VERIFY_LIBCLANG")
+        if override:
+            cindex.Config.set_library_file(override)
+    try:
+        cindex.Index.create()
+    except Exception as err:  # cindex.LibclangError and friends
+        raise FrontendUnavailable(f"libclang not loadable: {err}")
+    return cindex
+
+
+def available() -> bool:
+    try:
+        _load_cindex()
+        return True
+    except FrontendUnavailable:
+        return False
+
+
+def _compile_args(compile_commands: Optional[str],
+                  root: str) -> Dict[str, List[str]]:
+    """File -> clang args from compile_commands.json (flags only)."""
+    args: Dict[str, List[str]] = {}
+    if compile_commands is None or not os.path.exists(compile_commands):
+        return args
+    with open(compile_commands, "r", encoding="utf-8") as handle:
+        entries = json.load(handle)
+    drop_next = {"-o", "-c"}
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        raw = entry.get("arguments")
+        if raw is None:
+            raw = entry.get("command", "").split()
+        cleaned: List[str] = []
+        skip = False
+        for arg in raw[1:]:  # drop the compiler itself
+            if skip:
+                skip = False
+                continue
+            if arg in drop_next:
+                skip = True
+                continue
+            if arg == entry["file"] or arg.endswith(entry["file"]):
+                continue
+            cleaned.append(arg)
+        args[path] = cleaned
+    return args
+
+
+def parse_files(paths: List[str],
+                root: str,
+                compile_commands: Optional[str] = None
+                ) -> Tuple[SourceModel, List[str]]:
+    """Parse `paths` with libclang into one SourceModel."""
+    cindex = _load_cindex()
+    CursorKind = cindex.CursorKind
+    index = cindex.Index.create()
+    per_file_args = _compile_args(compile_commands, root)
+    default_args = ["-std=c++20", f"-I{os.path.join(root, 'src')}",
+                    f"-I{root}"]
+
+    model = SourceModel()
+    errors: List[str] = []
+    wanted = {os.path.normpath(p) for p in paths}
+
+    function_kinds = {
+        CursorKind.FUNCTION_DECL,
+        CursorKind.CXX_METHOD,
+        CursorKind.CONSTRUCTOR,
+        CursorKind.DESTRUCTOR,
+        CursorKind.FUNCTION_TEMPLATE,
+    }
+
+    def qualname_of(cursor) -> str:
+        parts = [cursor.spelling]
+        parent = cursor.semantic_parent
+        while parent is not None and parent.kind in (
+                CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL,
+                CursorKind.CLASS_TEMPLATE):
+            parts.insert(0, parent.spelling)
+            parent = parent.semantic_parent
+        return "::".join(parts)
+
+    def annotations_of(cursor) -> Tuple[bool, Optional[str]]:
+        noalloc, alloc_ok = False, None
+        for child in cursor.get_children():
+            if child.kind != CursorKind.ANNOTATE_ATTR:
+                continue
+            text = child.displayname or ""
+            if text == "lqs::noalloc":
+                noalloc = True
+            elif text.startswith("lqs::alloc_ok:"):
+                alloc_ok = text[len("lqs::alloc_ok:"):]
+            elif text == "lqs::alloc_ok":
+                alloc_ok = ""
+        return noalloc, alloc_ok
+
+    def lower_body(cursor, fn: FunctionInfo) -> None:
+        """Collect call and allocation sites from a function body."""
+        body = None
+        for child in cursor.get_children():
+            if child.kind == CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+
+        def stmt_children(node):
+            return list(node.get_children())
+
+        def record_call(node, discarded: bool,
+                        assigned_to: Optional[str]) -> None:
+            ref = node.referenced
+            name = ref.spelling if ref is not None else node.spelling
+            if not name:
+                return
+            line = node.location.line
+            is_method = node.kind == CursorKind.CALL_EXPR and \
+                ref is not None and ref.kind == CursorKind.CXX_METHOD
+            if is_method and name in _CONTAINER_GROWTH:
+                fn.allocs.append(AllocSite("container", name, line))
+            if name in _ALLOC_FUNCTIONS:
+                fn.allocs.append(AllocSite("alloc-fn", name, line))
+            qualifier = None
+            if ref is not None and ref.semantic_parent is not None and \
+                    ref.semantic_parent.kind in (CursorKind.CLASS_DECL,
+                                                 CursorKind.STRUCT_DECL):
+                qualifier = ref.semantic_parent.spelling
+            fn.calls.append(
+                CallSite(name=name, line=line, is_method_call=is_method,
+                         qualifier=qualifier, discarded=discarded,
+                         assigned_to=assigned_to,
+                         consulted=assigned_to is None))
+
+        def used_later(var_name: str, after_line: int) -> bool:
+            for node in body.walk_preorder():
+                if (node.kind == CursorKind.DECL_REF_EXPR
+                        and node.spelling == var_name
+                        and node.location.line > after_line):
+                    return True
+            return False
+
+        def walk(node, statement_level: bool) -> None:
+            for child in stmt_children(node):
+                kind = child.kind
+                if kind == CursorKind.CXX_NEW_EXPR:
+                    fn.allocs.append(
+                        AllocSite("new", "operator new",
+                                  child.location.line))
+                    walk(child, False)
+                    continue
+                if kind == CursorKind.CALL_EXPR:
+                    record_call(child, discarded=statement_level,
+                                assigned_to=None)
+                    walk(child, False)
+                    continue
+                if kind == CursorKind.DECL_STMT and statement_level:
+                    for decl in stmt_children(child):
+                        if decl.kind != CursorKind.VAR_DECL:
+                            walk(decl, False)
+                            continue
+                        init_calls = [
+                            n for n in decl.walk_preorder()
+                            if n.kind == CursorKind.CALL_EXPR
+                        ]
+                        if init_calls:
+                            top = init_calls[0]
+                            consulted = used_later(decl.spelling,
+                                                   decl.location.line)
+                            record_call(top, discarded=False,
+                                        assigned_to=decl.spelling)
+                            fn.calls[-1].consulted = consulted
+                            for inner in init_calls[1:]:
+                                record_call(inner, discarded=False,
+                                            assigned_to=None)
+                            for n in decl.walk_preorder():
+                                if n.kind == CursorKind.CXX_NEW_EXPR:
+                                    fn.allocs.append(
+                                        AllocSite("new", "operator new",
+                                                  n.location.line))
+                        else:
+                            walk(decl, False)
+                    continue
+                is_block = kind == CursorKind.COMPOUND_STMT
+                walk(child, is_block or (statement_level and kind in (
+                    CursorKind.IF_STMT, CursorKind.FOR_STMT,
+                    CursorKind.WHILE_STMT, CursorKind.SWITCH_STMT)))
+
+        walk(body, True)
+
+    for path in sorted(wanted):
+        try:
+            with open(path, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                text = handle.read()
+        except OSError as err:
+            errors.append(f"{path}: {err}")
+            continue
+        model.includes[path] = scan_includes(text)
+        model.suppressions[path] = scan_suppressions(path, text)
+
+    # Parse only .cc translation units; headers are reached through them
+    # and also parsed standalone so header-only functions are modeled.
+    for path in sorted(wanted):
+        args = per_file_args.get(os.path.normpath(path), default_args)
+        if path.endswith(".h"):
+            args = args + ["-x", "c++-header"]
+        try:
+            tu = index.parse(path, args=args)
+        except Exception as err:
+            errors.append(f"{path}: libclang parse failed: {err}")
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in function_kinds:
+                continue
+            loc = cursor.location
+            if loc.file is None or os.path.normpath(
+                    loc.file.name) != os.path.normpath(path):
+                continue
+            noalloc, alloc_ok = annotations_of(cursor)
+            fn = FunctionInfo(
+                name=cursor.spelling,
+                qualname=qualname_of(cursor),
+                file=path,
+                line=loc.line,
+                is_definition=cursor.is_definition(),
+                is_virtual=bool(cursor.is_virtual_method())
+                if cursor.kind == CursorKind.CXX_METHOD else False,
+                returns_status="Status" in (cursor.result_type.spelling
+                                            or ""),
+                noalloc=noalloc,
+                alloc_ok=alloc_ok,
+            )
+            if fn.is_definition:
+                lower_body(cursor, fn)
+            model.functions.append(fn)
+
+    for fn in model.functions:
+        if fn.returns_status:
+            model.status_names.add(fn.name)
+    return model, errors

@@ -1,0 +1,587 @@
+"""Built-in C++ frontend for lqs-verify: tokenizer + structural scanner.
+
+This is the fallback (and reference) frontend, used whenever the libclang
+Python bindings are unavailable (frontend_clang.py is preferred when
+`import clang.cindex` succeeds and a libclang shared object can be found).
+It is not a C++ parser; it is a structural scanner tuned to this codebase's
+style (Google-style headers/sources, no exceptions, no preprocessor
+metaprogramming in function bodies) that extracts exactly the facts in
+model.SourceModel:
+
+  * function declarations/definitions with qualified names, return types,
+    virtual-ness, and the LQS_NOALLOC / LQS_ALLOC_OK annotations,
+  * call sites inside bodies, with discard/assignment context,
+  * lexical allocation sites (operator new, malloc family, growing
+    container member calls),
+  * quoted includes and comment-level suppressions (shared helpers in
+    model.py).
+
+Known, deliberate limits (documented in DESIGN.md §12): overloaded
+operators and lambdas are analyzed as part of their enclosing function;
+calls are resolved by simple name, not overload; template instantiation is
+not modeled. The fixture suite in testdata/ pins the exact behavior.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from model import (AllocSite, CallSite, FunctionInfo, SourceModel,
+                   scan_includes, scan_suppressions)
+
+
+class FrontendError(Exception):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Tokenizer
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # "id" | "num" | "punct" | "str" | "char"
+    text: str
+    line: int
+
+
+_PUNCTS = [
+    "->*", "<<=", ">>=", "...", "::", "->", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "%=", "++", "--", "<<",
+    ">>",
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i, n, line = 0, len(text), 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise FrontendError(f"line {line}: unterminated block comment")
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if c == "#" and at_line_start:
+            # Preprocessor logical line (with backslash continuations).
+            # Includes are collected separately by model.scan_includes.
+            while i < n:
+                end = text.find("\n", i)
+                if end < 0:
+                    i = n
+                    break
+                cont = text[i:end].rstrip().endswith("\\")
+                line += 1
+                i = end + 1
+                if not cont:
+                    break
+            at_line_start = True
+            continue
+        at_line_start = False
+        if text.startswith('R"', i):
+            delim_end = text.find("(", i + 2)
+            if delim_end < 0:
+                raise FrontendError(f"line {line}: malformed raw string")
+            delim = text[i + 2:delim_end]
+            closer = ")" + delim + '"'
+            end = text.find(closer, delim_end)
+            if end < 0:
+                raise FrontendError(f"line {line}: unterminated raw string")
+            tokens.append(Token("str", text[delim_end + 1:end], line))
+            line += text.count("\n", i, end)
+            i = end + len(closer)
+            continue
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            if j >= n:
+                raise FrontendError(f"line {line}: unterminated string")
+            tokens.append(Token("str", text[i + 1:j], line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("char", text[i + 1:j], line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        for punct in _PUNCTS:
+            if text.startswith(punct, i):
+                tokens.append(Token("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def _match_brackets(tokens: List[Token]) -> Dict[int, int]:
+    """open index -> close index and close -> open, for () {} []."""
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    stack: List[Tuple[str, int]] = []
+    match: Dict[int, int] = {}
+    for i, tok in enumerate(tokens):
+        if tok.kind != "punct":
+            continue
+        if tok.text in pairs:
+            stack.append((pairs[tok.text], i))
+        elif tok.text in pairs.values():
+            if not stack or stack[-1][0] != tok.text:
+                raise FrontendError(
+                    f"line {tok.line}: unbalanced '{tok.text}'")
+            _, open_idx = stack.pop()
+            match[open_idx] = i
+            match[i] = open_idx
+    if stack:
+        raise FrontendError(
+            f"line {tokens[stack[-1][1]].line}: unclosed "
+            f"'{tokens[stack[-1][1]].text}'")
+    return match
+
+
+# --------------------------------------------------------------------------
+# Structural scan
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "new", "delete", "decltype", "noexcept", "throw", "else", "do",
+    "co_await", "co_return", "co_yield", "case", "default", "goto",
+    "static_assert", "alignas", "typeid", "using", "requires",
+}
+_TYPE_KEYWORDS = {
+    "void", "int", "double", "float", "char", "bool", "auto", "unsigned",
+    "signed", "long", "short", "wchar_t", "char8_t", "char16_t", "char32_t",
+}
+_NOT_A_CALLEE = _CONTROL_KEYWORDS | _TYPE_KEYWORDS
+
+_SIG_QUALIFIERS = {
+    "inline", "static", "constexpr", "consteval", "explicit", "friend",
+    "extern", "virtual", "mutable", "typename",
+}
+_POST_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable"}
+
+_ALLOC_FUNCTIONS = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "posix_memalign", "make_unique", "make_shared",
+}
+_CONTAINER_GROWTH = {
+    "push_back", "emplace_back", "emplace", "emplace_hint", "insert",
+    "resize", "reserve", "assign", "append", "push_front", "emplace_front",
+}
+
+
+class _FileScanner:
+    def __init__(self, path: str, tokens: List[Token]):
+        self.path = path
+        self.tokens = tokens
+        self.match = _match_brackets(tokens)
+        self.functions: List[FunctionInfo] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _is(self, i: int, text: str) -> bool:
+        return (0 <= i < len(self.tokens) and self.tokens[i].kind == "punct"
+                and self.tokens[i].text == text)
+
+    def _id(self, i: int) -> Optional[str]:
+        if 0 <= i < len(self.tokens) and self.tokens[i].kind == "id":
+            return self.tokens[i].text
+        return None
+
+    # -- scope walk ---------------------------------------------------------
+
+    def scan(self) -> None:
+        self._scan_scope(0, len(self.tokens), class_name=None)
+
+    def _scan_scope(self, begin: int, end: int,
+                    class_name: Optional[str]) -> None:
+        i = begin
+        while i < end:
+            tok = self.tokens[i]
+            if tok.kind == "id" and tok.text == "namespace":
+                i = self._enter_braced_scope(i, end, class_name)
+                continue
+            if tok.kind == "id" and tok.text == "enum":
+                i = self._skip_enum(i, end)
+                continue
+            if (tok.kind == "id" and tok.text in ("class", "struct")
+                    and self._id(i - 1) != "enum"):
+                i = self._enter_class(i, end)
+                continue
+            if tok.kind == "punct" and tok.text == "(":
+                consumed = self._try_function(i, class_name)
+                if consumed is not None:
+                    i = consumed
+                    continue
+                i += 1
+                continue
+            if tok.kind == "punct" and tok.text == "{":
+                # Brace not owned by a recognized construct (initializer,
+                # operator body, ...): skip it wholesale.
+                i = self.match[i] + 1
+                continue
+            i += 1
+
+    def _enter_braced_scope(self, i: int, end: int,
+                            class_name: Optional[str]) -> int:
+        j = i + 1
+        while j < end and not (self._is(j, "{") or self._is(j, ";")):
+            j += 1
+        if j >= end or self._is(j, ";"):
+            return j + 1
+        close = self.match[j]
+        self._scan_scope(j + 1, close, class_name)
+        return close + 1
+
+    def _skip_enum(self, i: int, end: int) -> int:
+        j = i + 1
+        while j < end and not (self._is(j, "{") or self._is(j, ";")):
+            j += 1
+        if j < end and self._is(j, "{"):
+            return self.match[j] + 1
+        return j + 1
+
+    def _enter_class(self, i: int, end: int) -> int:
+        name: Optional[str] = None
+        j = i + 1
+        while j < end and not (self._is(j, "{") or self._is(j, ";")):
+            if self._is(j, "["):  # [[attribute]], e.g. [[nodiscard]]
+                j = self.match[j] + 1
+                continue
+            got = self._id(j)
+            if got is not None and name is None and got != "final":
+                name = got
+            j += 1
+        if j >= end or self._is(j, ";"):  # forward declaration
+            return j + 1
+        close = self.match[j]
+        self._scan_scope(j + 1, close, name)
+        return close + 1
+
+    # -- function recognition ----------------------------------------------
+
+    def _signature_start(self, chain_start: int) -> int:
+        """Index of the first token of the declaration containing
+        `chain_start` (walks back to the previous ; { } or access label)."""
+        k = chain_start - 1
+        while k >= 0:
+            tok = self.tokens[k]
+            if tok.kind == "punct" and tok.text in (";", "{", "}"):
+                return k + 1
+            if (tok.kind == "punct" and tok.text == ":"
+                    and self._id(k - 1) in ("public", "private", "protected")):
+                return k + 1
+            if tok.kind == "punct" and tok.text == ">":
+                # Could close a template parameter list; keep walking.
+                pass
+            k -= 1
+        return 0
+
+    def _try_function(self, open_paren: int,
+                      class_name: Optional[str]) -> Optional[int]:
+        name_idx = open_paren - 1
+        name = self._id(name_idx)
+        if name is None or name in _NOT_A_CALLEE:
+            return None
+        # Qualified name chain A::B::name.
+        chain = [name]
+        p = name_idx
+        while self._is(p - 1, "::") and self._id(p - 2) is not None:
+            chain.insert(0, self.tokens[p - 2].text)
+            p -= 2
+        if self._is(p - 1, "~"):  # destructor: record but never relevant
+            p -= 1
+        sig_start = self._signature_start(p)
+        ret_tokens = self.tokens[sig_start:p]
+        ret_texts = [t.text for t in ret_tokens]
+        if "=" in ret_texts or any(t in _CONTROL_KEYWORDS for t in ret_texts):
+            return None
+        close_paren = self.match[open_paren]
+        # Post-signature qualifiers / attribute macros / trailing return.
+        j = close_paren + 1
+        is_virtual = "virtual" in ret_texts
+        saw_pure_or_defaulted = False
+        while j < len(self.tokens):
+            tok = self.tokens[j]
+            if tok.kind == "id" and tok.text in _POST_QUALIFIERS:
+                if tok.text in ("override", "final"):
+                    is_virtual = True
+                j += 1
+                # noexcept(...) / attribute macro arguments
+                if self._is(j, "("):
+                    j = self.match[j] + 1
+                continue
+            if tok.kind == "id" and self._is(j + 1, "("):
+                j = self.match[j + 1] + 1  # attribute-like macro
+                continue
+            if tok.kind == "punct" and tok.text in ("&", "&&"):
+                j += 1
+                continue
+            if tok.kind == "punct" and tok.text == "->":
+                # Trailing return type: scan to the body/terminator.
+                while j < len(self.tokens) and not (self._is(j, "{")
+                                                    or self._is(j, ";")):
+                    j += 1
+                continue
+            if tok.kind == "punct" and tok.text == "=":
+                nxt = self.tokens[j + 1] if j + 1 < len(self.tokens) else None
+                if nxt is not None and nxt.text in ("default", "delete", "0"):
+                    if nxt.text == "0":
+                        is_virtual = True
+                    saw_pure_or_defaulted = True
+                    j += 2
+                    continue
+                return None  # initializer: not a function
+            break
+        if j >= len(self.tokens):
+            return None
+        terminator = self.tokens[j]
+        body_open: Optional[int] = None
+        if terminator.kind == "punct" and terminator.text == ":":
+            # Only constructors carry an initializer list: in-class
+            # `Foo() : ...` or out-of-line `Foo::Foo() : ...`.
+            is_ctor = (class_name == name
+                       or (len(chain) >= 2 and chain[-1] == chain[-2]))
+            if not is_ctor or saw_pure_or_defaulted:
+                return None
+            # Constructor initializer list: find the body brace at depth 0.
+            k = j + 1
+            while k < len(self.tokens):
+                if self._is(k, "(") or self._is(k, "["):
+                    k = self.match[k] + 1
+                    continue
+                if self._is(k, "{"):
+                    # Brace-init member (a_{x}) vs body: the body brace is
+                    # followed by statements; a member brace is followed by
+                    # `,` or the body brace. Disambiguate via the matcher:
+                    close = self.match[k]
+                    if self._is(close + 1, ",") or self._is(close + 1, "{"):
+                        k = close + 1
+                        continue
+                    body_open = k
+                    break
+                k += 1
+            if body_open is None:
+                return None
+        elif terminator.kind == "punct" and terminator.text == "{":
+            body_open = j
+        elif terminator.kind == "punct" and terminator.text == ";":
+            body_open = None
+        else:
+            return None
+
+        if len(chain) > 1:
+            qualname = "::".join(chain)
+        elif class_name is not None:
+            qualname = f"{class_name}::{name}"
+        else:
+            qualname = name
+
+        returns_status = any(t in ("Status", "StatusOr") for t in ret_texts)
+        # Constructors of Status/StatusOr themselves have the class name in
+        # scope, not the return slot; exclude self-named functions.
+        if name in ("Status", "StatusOr"):
+            returns_status = bool(ret_texts) and ret_texts[-1] in (
+                "Status", "StatusOr")
+
+        noalloc = "LQS_NOALLOC" in ret_texts
+        alloc_ok: Optional[str] = None
+        if "LQS_NOALLOC" in ret_texts or "LQS_ALLOC_OK" in ret_texts:
+            alloc_ok = self._alloc_ok_justification(sig_start, p)
+            if "LQS_ALLOC_OK" not in ret_texts:
+                alloc_ok = None
+
+        fn = FunctionInfo(
+            name=name,
+            qualname=qualname,
+            file=self.path,
+            line=self.tokens[name_idx].line,
+            is_definition=body_open is not None,
+            is_virtual=is_virtual,
+            returns_status=returns_status,
+            noalloc=noalloc,
+            alloc_ok=alloc_ok,
+        )
+        if body_open is not None:
+            body_close = self.match[body_open]
+            self._scan_body(fn, body_open + 1, body_close)
+            self.functions.append(fn)
+            return body_close + 1
+        self.functions.append(fn)
+        return j + 1
+
+    def _alloc_ok_justification(self, sig_start: int,
+                                sig_end: int) -> Optional[str]:
+        for k in range(sig_start, sig_end):
+            if (self.tokens[k].kind == "id"
+                    and self.tokens[k].text == "LQS_ALLOC_OK"
+                    and self._is(k + 1, "(")):
+                close = self.match[k + 1]
+                parts = [
+                    t.text for t in self.tokens[k + 2:close]
+                    if t.kind == "str"
+                ]
+                return "".join(parts)
+        return ""  # annotation present without arguments
+
+    # -- body analysis ------------------------------------------------------
+
+    def _chain_start(self, name_idx: int) -> int:
+        """Start of the postfix expression ending at the callee name."""
+        start = name_idx
+        while True:
+            prev = start - 1
+            if prev >= 0 and self.tokens[prev].kind == "punct" \
+                    and self.tokens[prev].text in ("::", ".", "->"):
+                q = prev - 1
+                if q >= 0 and self.tokens[q].kind == "punct" \
+                        and self.tokens[q].text in (")", "]"):
+                    opener = self.match[q]
+                    if self._id(opener - 1) is not None:
+                        start = opener - 1
+                    else:
+                        start = opener
+                elif self._id(q) is not None:
+                    start = q
+                else:
+                    return start
+            else:
+                return start
+
+    def _scan_body(self, fn: FunctionInfo, begin: int, end: int) -> None:
+        tokens = self.tokens
+        i = begin
+        while i < end:
+            tok = tokens[i]
+            if tok.kind == "id" and tok.text == "new":
+                fn.allocs.append(AllocSite("new", "operator new", tok.line))
+                i += 1
+                continue
+            if (tok.kind == "id" and tok.text in _ALLOC_FUNCTIONS
+                    and (self._is(i + 1, "(") or self._is(i + 1, "<"))):
+                fn.allocs.append(AllocSite("alloc-fn", tok.text, tok.line))
+                i += 1
+                continue
+            if not (tok.kind == "punct" and tok.text == "("):
+                i += 1
+                continue
+            # A call: identifier directly before '('.
+            name = self._id(i - 1)
+            if name is None or name in _NOT_A_CALLEE:
+                i += 1
+                continue
+            name_idx = i - 1
+            is_method = (tokens[name_idx - 1].kind == "punct"
+                         and tokens[name_idx - 1].text in (".", "->"))
+            qualifier = None
+            if self._is(name_idx - 1, "::"):
+                qualifier = self._id(name_idx - 2)
+            if is_method and name in _CONTAINER_GROWTH:
+                fn.allocs.append(AllocSite("container", name, tok.line))
+            call = CallSite(name=name, line=tokens[name_idx].line,
+                            is_method_call=is_method, qualifier=qualifier)
+            start = self._chain_start(name_idx)
+            boundary_idx = start - 1
+            # Explicit (void) cast?
+            if (self._is(start - 1, ")") and self._id(start - 2) == "void"
+                    and self._is(start - 3, "(")):
+                call.void_cast = True
+                boundary_idx = start - 4
+            at_statement_start = (
+                boundary_idx < begin
+                or (tokens[boundary_idx].kind == "punct"
+                    and tokens[boundary_idx].text in (";", "{", "}")))
+            close = self.match[i]
+            followed_by_semicolon = self._is(close + 1, ";")
+            if at_statement_start and followed_by_semicolon:
+                call.discarded = True
+            elif not call.void_cast and self._is(start - 1, "="):
+                assignee = self._id(start - 2)
+                before = start - 3
+                # Only a fresh binding (`Status s = f(...);`, `auto v =
+                # f(...);`) gets never-consulted analysis. A re-assignment
+                # (`status = f(...);`) or member store (`x.status = f(...)`)
+                # keeps the result alive beyond this statement.
+                is_decl = (
+                    assignee is not None and before >= 0
+                    and (tokens[before].kind == "id"
+                         or (tokens[before].kind == "punct"
+                             and tokens[before].text in (">", "&", "*"))))
+                if is_decl and tokens[before].kind == "id" \
+                        and tokens[before].text in ("return", "co_return"):
+                    is_decl = False
+                if is_decl:
+                    call.assigned_to = assignee
+                    call.consulted = any(
+                        t.kind == "id" and t.text == assignee
+                        for t in tokens[close + 1:end])
+            fn.calls.append(call)
+            i += 1
+
+
+# --------------------------------------------------------------------------
+# Public entry point
+
+
+def parse_files(paths: List[str],
+                read_text=None) -> Tuple[SourceModel, List[str]]:
+    """Parse `paths` into one SourceModel. Returns (model, parse_errors)."""
+    model = SourceModel()
+    errors: List[str] = []
+    for path in paths:
+        try:
+            if read_text is not None:
+                text = read_text(path)
+            else:
+                with open(path, "r", encoding="utf-8",
+                          errors="replace") as handle:
+                    text = handle.read()
+        except OSError as err:
+            errors.append(f"{path}: {err}")
+            continue
+        model.includes[path] = scan_includes(text)
+        model.suppressions[path] = scan_suppressions(path, text)
+        try:
+            scanner = _FileScanner(path, tokenize(text))
+            scanner.scan()
+        except FrontendError as err:
+            errors.append(f"{path}: {err}")
+            continue
+        model.functions.extend(scanner.functions)
+    for fn in model.functions:
+        if fn.returns_status:
+            model.status_names.add(fn.name)
+    return model, errors

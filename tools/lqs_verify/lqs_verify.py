@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""lqs-verify: call-graph static analysis for the LQS tree.
+
+Three checkers over one source model (see DESIGN.md §12):
+
+  status    every call to a lqs::Status / lqs::StatusOr-returning function
+            must consult its result. [[nodiscard]] + -Werror=unused-result
+            catch plain discards at compile time; this checker additionally
+            flags (void)-casts and assigned-but-never-consulted results.
+  noalloc   functions annotated LQS_NOALLOC must not reach an allocation
+            through any non-virtual call chain. LQS_ALLOC_OK("why") marks a
+            deliberate boundary; a comment form silences one call site.
+  layering  the src/ dependency DAG: no upward includes, no include cycles.
+
+Frontends: `clang` (libclang via clang.cindex, preferred when available)
+and `lite` (built-in structural scanner, always available, pinned by the
+fixture suite). `auto` picks clang when loadable, else lite.
+
+Exit codes: 0 clean, 1 findings, 2 parse/usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks  # noqa: E402
+import frontend_lite  # noqa: E402
+from model import Finding  # noqa: E402
+
+# Directories scanned relative to --root. build trees are never walked.
+_SOURCE_DIRS = ("src", "tests", "bench", "examples")
+_EXTENSIONS = (".h", ".cc")
+
+
+def collect_sources(root: str) -> List[str]:
+    found: List[str] = []
+    for rel in _SOURCE_DIRS:
+        top = os.path.join(root, rel)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames
+                           if d != "build" and not d.startswith("build-")]
+            for name in sorted(filenames):
+                if name.endswith(_EXTENSIONS):
+                    found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def build_model(paths: List[str], frontend: str, root: str,
+                compile_commands: Optional[str],
+                notices: List[str]) -> tuple:
+    """Returns (model, errors, frontend_used)."""
+    if frontend in ("auto", "clang"):
+        try:
+            import frontend_clang
+            model, errors = frontend_clang.parse_files(
+                paths, root=root, compile_commands=compile_commands)
+            return model, errors, "clang"
+        except Exception as err:  # FrontendUnavailable or import failure
+            if frontend == "clang":
+                raise SystemExit(
+                    f"lqs-verify: clang frontend requested but unavailable: "
+                    f"{err}")
+            notices.append(
+                f"lqs-verify: libclang unavailable ({err}); "
+                f"using built-in frontend")
+    model, errors = frontend_lite.parse_files(paths)
+    return model, errors, "lite"
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lqs_verify",
+        description="Static analysis gates for the LQS tree.")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the clang frontend "
+                             "(default: <root>/build/compile_commands.json "
+                             "if present)")
+    parser.add_argument("--frontend", choices=("auto", "clang", "lite"),
+                        default="auto")
+    parser.add_argument("--checks", default="status,noalloc,layering",
+                        help="comma-separated subset of "
+                             "status,noalloc,layering")
+    parser.add_argument("--pairing-file", default=None,
+                        help="test source whose LQS_NOALLOC_PAIRED markers "
+                             "must match the annotation set (default: "
+                             "<root>/tests/estimator_alloc_test.cc)")
+    parser.add_argument("--no-pairing", action="store_true",
+                        help="skip the annotation/runtime-test pairing "
+                             "cross-check")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    parser.add_argument("files", nargs="*",
+                        help="analyze only these files (layering still "
+                             "walks the whole tree for cycle detection)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    enabled = {c.strip() for c in args.checks.split(",") if c.strip()}
+    unknown = enabled - {"status", "noalloc", "layering"}
+    if unknown:
+        print(f"lqs-verify: unknown checks: {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        default_cc = os.path.join(root, "build", "compile_commands.json")
+        if os.path.exists(default_cc):
+            compile_commands = default_cc
+
+    paths = [os.path.abspath(p) for p in args.files] or collect_sources(root)
+    if not paths:
+        print(f"lqs-verify: no sources under {root}", file=sys.stderr)
+        return 2
+
+    notices: List[str] = []
+    model, errors, frontend_used = build_model(
+        paths, args.frontend, root, compile_commands, notices)
+    for notice in notices:
+        print(notice, file=sys.stderr)
+
+    findings: List[Finding] = []
+    if "status" in enabled:
+        findings.extend(checks.check_status(model))
+    if "noalloc" in enabled:
+        pairing_file = args.pairing_file
+        if pairing_file is None and not args.no_pairing:
+            default_pairing = os.path.join(root, "tests",
+                                           "estimator_alloc_test.cc")
+            if os.path.exists(default_pairing):
+                pairing_file = default_pairing
+        findings.extend(checks.check_noalloc(
+            model, pairing_file=None if args.no_pairing else pairing_file,
+            root=root))
+    if "layering" in enabled:
+        findings.extend(checks.check_layering(model, root))
+
+    findings.sort(key=lambda f: (f.file, f.line, f.check, f.message))
+
+    if args.json:
+        print(json.dumps({
+            "frontend": frontend_used,
+            "files": len(paths),
+            "findings": [dataclass_dict(f) for f in findings],
+            "parse_errors": errors,
+        }, indent=2))
+    else:
+        for finding in findings:
+            rel = os.path.relpath(finding.file, root)
+            print(Finding(finding.check, rel, finding.line, finding.message,
+                          finding.chain).render())
+        for err in errors:
+            print(f"lqs-verify: parse error: {err}", file=sys.stderr)
+        print(f"lqs-verify: {frontend_used} frontend, {len(paths)} files, "
+              f"{len(findings)} finding(s), {len(errors)} parse error(s)",
+              file=sys.stderr)
+
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+def dataclass_dict(finding: Finding) -> dict:
+    return {"check": finding.check, "file": finding.file,
+            "line": finding.line, "message": finding.message,
+            "chain": finding.chain}
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,174 @@
+"""Shared IR for lqs-verify's frontends and checkers.
+
+Both frontends (frontend_clang via libclang, frontend_lite via the built-in
+tokenizer) lower C++ sources into this model; the three checkers in
+checks.py consume only the model, so their findings are frontend-agnostic.
+
+The model is deliberately small: functions with their call sites and
+allocation sites, the include graph, and comment-level suppressions. It is
+exactly the information the three checkers need — not a general AST.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str  # simple callee name, e.g. "EstimateInto"
+    line: int
+    is_method_call: bool = False  # x.f(...) or x->f(...)
+    qualifier: Optional[str] = None  # "Class" for Class::f(...)
+    # The call is a full expression statement whose value is dropped.
+    discarded: bool = False
+    # The drop was explicit: (void)f(...).
+    void_cast: bool = False
+    # `T v = f(...);` / `auto v = f(...);`: the variable name, else None.
+    assigned_to: Optional[str] = None
+    # When assigned_to is set: the variable appears again later in the body.
+    consulted: bool = True
+
+
+@dataclasses.dataclass
+class AllocSite:
+    """One lexical allocating operation inside a function body."""
+
+    kind: str  # "new" | "alloc-fn" | "container"
+    what: str  # e.g. "operator new", "malloc", "push_back"
+    line: int
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function declaration or definition."""
+
+    name: str  # simple name
+    qualname: str  # "Class::Name" or "Name"
+    file: str
+    line: int
+    is_definition: bool = False
+    is_virtual: bool = False
+    returns_status: bool = False  # return type mentions Status/StatusOr
+    noalloc: bool = False  # carries LQS_NOALLOC
+    # LQS_ALLOC_OK justification; None = not annotated, "" = annotated with
+    # an empty justification (itself a finding).
+    alloc_ok: Optional[str] = None
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    allocs: List[AllocSite] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Suppression:
+    kind: str  # "alloc-ok" | "status-ok"
+    justification: str
+    line: int
+
+
+@dataclasses.dataclass
+class SourceModel:
+    """Everything the checkers consume, for one analyzed file set."""
+
+    # All function decls/defs, in file order.
+    functions: List[FunctionInfo] = dataclasses.field(default_factory=list)
+    # file -> [(line, include-path-as-written)] for quoted includes.
+    includes: Dict[str, List[Tuple[int, str]]] = dataclasses.field(
+        default_factory=dict)
+    # file -> line -> Suppression (comment escapes).
+    suppressions: Dict[str, Dict[int, Suppression]] = dataclasses.field(
+        default_factory=dict)
+    # Simple names of functions whose return type is Status/StatusOr.
+    status_names: Set[str] = dataclasses.field(default_factory=set)
+
+    def merge(self, other: "SourceModel") -> None:
+        self.functions.extend(other.functions)
+        self.includes.update(other.includes)
+        self.suppressions.update(other.suppressions)
+        self.status_names.update(other.status_names)
+
+    def definitions_by_name(self) -> Dict[str, List[FunctionInfo]]:
+        index: Dict[str, List[FunctionInfo]] = {}
+        for fn in self.functions:
+            if fn.is_definition:
+                index.setdefault(fn.name, []).append(fn)
+        return index
+
+    def suppression_for(self, path: str, line: int,
+                        kind: str) -> Optional[Suppression]:
+        """Suppression on `line` or the line directly above it."""
+        per_file = self.suppressions.get(path, {})
+        for candidate in (line, line - 1):
+            sup = per_file.get(candidate)
+            if sup is not None and sup.kind == kind:
+                return sup
+        return None
+
+
+@dataclasses.dataclass
+class Finding:
+    """One diagnostic. `check` is the checker id; `chain` the call chain
+    (noalloc) or empty."""
+
+    check: str  # "status" | "noalloc" | "layering"
+    file: str
+    line: int
+    message: str
+    chain: List[str] = dataclasses.field(default_factory=list)
+
+    def render(self) -> str:
+        text = f"{self.file}:{self.line}: [{self.check}] {self.message}"
+        if self.chain:
+            text += "\n    call chain: " + " -> ".join(self.chain)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Comment suppressions are parsed from raw text, uniformly for every
+# frontend: libclang drops comments from the AST, and the escape hatch must
+# behave identically whichever frontend parsed the file.
+
+_ALLOC_OK_COMMENT = re.compile(
+    r'(?://|/\*).*?LQS_ALLOC_OK\(\s*"((?:[^"\\]|\\.)*)"\s*\)')
+_STATUS_OK_COMMENT = re.compile(
+    r'(?://|/\*).*?lqs-verify:\s*status-ok\(([^)]*)\)')
+# An LQS_ALLOC_OK in a comment with no ("...") argument at all — catches
+# `// LQS_ALLOC_OK` and `// LQS_ALLOC_OK()`, which must not silently count
+# as a justified escape. Prose mentions like "LQS_ALLOC_OK-annotated" in
+# doc comments are not suppressions.
+_ALLOC_OK_BARE = re.compile(r'(?://|/\*).*?LQS_ALLOC_OK(?![\w-])(?!\(\s*")')
+
+
+def scan_suppressions(path: str, text: str) -> Dict[int, Suppression]:
+    """Extract comment-level escape hatches, keyed by 1-based line."""
+    found: Dict[int, Suppression] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _ALLOC_OK_COMMENT.search(line)
+        if match:
+            found[lineno] = Suppression("alloc-ok", match.group(1).strip(),
+                                        lineno)
+            continue
+        if _ALLOC_OK_BARE.search(line):
+            found[lineno] = Suppression("alloc-ok", "", lineno)
+            continue
+        match = _STATUS_OK_COMMENT.search(line)
+        if match:
+            found[lineno] = Suppression("status-ok", match.group(1).strip(),
+                                        lineno)
+    return found
+
+
+_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def scan_includes(text: str) -> List[Tuple[int, str]]:
+    """Quoted includes with their 1-based line numbers."""
+    result = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _INCLUDE.match(line)
+        if match:
+            result.append((lineno, match.group(1)))
+    return result

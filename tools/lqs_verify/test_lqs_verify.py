@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Fixture suite for lqs-verify, run under ctest as `lqs_verify_fixtures`.
+
+Pins each checker's exact findings on the seeded-violation corpus in
+testdata/ (the positive cases) and the clean constructs around them (the
+negative cases), plus the annotation/runtime-test pairing in both
+directions against the real tree. The built-in frontend is the reference
+implementation these tests define; the libclang frontend, when available,
+must agree with it on the checkers' inputs.
+
+Fixture lines are located by unique substrings, not hard-coded numbers, so
+fixtures can be edited without renumbering the suite.
+"""
+
+import os
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import checks  # noqa: E402
+import frontend_lite  # noqa: E402
+import lqs_verify  # noqa: E402
+
+TESTDATA = os.path.join(HERE, "testdata")
+REPO_ROOT = os.path.abspath(os.path.join(HERE, "..", ".."))
+
+
+def line_of(path, needle):
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if needle in line:
+                return lineno
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+def parse(*paths):
+    model, errors = frontend_lite.parse_files(list(paths))
+    if errors:
+        raise AssertionError(f"fixture parse errors: {errors}")
+    return model
+
+
+class StatusFixtureTest(unittest.TestCase):
+    FIXTURE = os.path.join(TESTDATA, "status_fixture.cc")
+
+    def setUp(self):
+        self.findings = checks.check_status(parse(self.FIXTURE))
+        self.lines = {f.line for f in self.findings}
+
+    def test_exact_finding_count(self):
+        self.assertEqual(len(self.findings), 4,
+                         [f.render() for f in self.findings])
+
+    def test_plain_discard_flagged(self):
+        line = line_of(self.FIXTURE, 'Connect("a")')
+        self.assertIn(line, self.lines)
+        (finding,) = [f for f in self.findings if f.line == line]
+        self.assertIn("discarded", finding.message)
+        self.assertIn("Connect", finding.message)
+
+    def test_void_cast_flagged(self):
+        line = line_of(self.FIXTURE, '(void)Connect("b")')
+        (finding,) = [f for f in self.findings if f.line == line]
+        self.assertIn("(void)-cast", finding.message)
+
+    def test_bound_never_consulted_flagged(self):
+        line = line_of(self.FIXTURE, "Status dangling")
+        (finding,) = [f for f in self.findings if f.line == line]
+        self.assertIn("never consulted", finding.message)
+        self.assertIn("'dangling'", finding.message)
+
+    def test_empty_suppression_reason_flagged(self):
+        line = line_of(self.FIXTURE, "status-ok()")
+        (finding,) = [f for f in self.findings if f.line == line]
+        self.assertIn("non-empty reason", finding.message)
+
+    def test_clean_cases_not_flagged(self):
+        for needle in ('Connect("d")', "teardown; failure",
+                       "SideEffectOnly()", 'holder.status = Connect("e")'):
+            self.assertNotIn(line_of(self.FIXTURE, needle), self.lines,
+                             f"clean case flagged: {needle}")
+
+
+class NoallocFixtureTest(unittest.TestCase):
+    FIXTURE = os.path.join(TESTDATA, "noalloc_fixture.cc")
+
+    def setUp(self):
+        self.findings = checks.check_noalloc(parse(self.FIXTURE))
+
+    def of_root(self, root):
+        return [f for f in self.findings if f"'{root}'" in f.message]
+
+    def test_exact_finding_count(self):
+        self.assertEqual(len(self.findings), 5,
+                         [f.render() for f in self.findings])
+
+    def test_two_deep_chain_reported_with_full_chain(self):
+        (finding,) = self.of_root("DeepRoot")
+        self.assertEqual(finding.line, line_of(self.FIXTURE, "new int(7)"))
+        self.assertIn("operator new", finding.message)
+        self.assertIn("'Leaf'", finding.message)
+        # DeepRoot -> Middle -> Leaf -> operator new, each with file:line.
+        self.assertEqual(len(finding.chain), 4)
+        self.assertIn("DeepRoot", finding.chain[0])
+        self.assertIn("Middle", finding.chain[1])
+        self.assertIn("Leaf", finding.chain[2])
+        self.assertIn("operator new", finding.chain[3])
+
+    def test_direct_container_growth_reported(self):
+        (finding,) = self.of_root("GrowDirect")
+        self.assertIn("push_back", finding.message)
+
+    def test_alloc_ok_boundary_stops_traversal(self):
+        self.assertEqual(self.of_root("ThroughBoundary"), [])
+        # The boundary's own body is behind the escape, not analyzed.
+        self.assertFalse(
+            [f for f in self.findings if "SizingBoundary" in f.message])
+
+    def test_line_suppression_with_reason_is_clean(self):
+        self.assertEqual(self.of_root("SuppressedLine"), [])
+
+    def test_empty_line_suppression_is_a_finding(self):
+        line = line_of(self.FIXTURE, "LQS_ALLOC_OK()")
+        (finding,) = [f for f in self.findings if f.line == line]
+        self.assertIn("non-empty justification", finding.message)
+        # ...and it replaces (not duplicates) the allocation finding.
+        self.assertEqual(len(self.of_root("EmptySuppression")), 0)
+
+    def test_virtual_calls_not_followed(self):
+        self.assertEqual(self.of_root("ThroughVirtual"), [])
+
+    def test_conflicting_annotations_flagged(self):
+        (finding,) = self.of_root("Conflicted")
+        self.assertIn("both LQS_NOALLOC and LQS_ALLOC_OK", finding.message)
+
+    def test_empty_function_level_justification_flagged(self):
+        (finding,) = self.of_root("Unjustified")
+        self.assertIn("non-empty justification", finding.message)
+
+
+class PairingTest(unittest.TestCase):
+    """The LQS_NOALLOC <-> runtime-test pairing, both directions, against
+    the real headers and the real allocation test."""
+
+    HEADERS = [
+        os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
+        os.path.join(REPO_ROOT, "src", "lqs", "bounds.h"),
+        os.path.join(REPO_ROOT, "src", "monitor", "monitor_service.h"),
+    ]
+    PAIRING = os.path.join(REPO_ROOT, "tests", "estimator_alloc_test.cc")
+
+    def test_tree_annotations_and_markers_agree(self):
+        findings = checks.check_noalloc(parse(*self.HEADERS),
+                                        pairing_file=self.PAIRING)
+        self.assertEqual(findings, [], [f.render() for f in findings])
+
+    def test_removing_an_annotation_orphans_its_marker(self):
+        # Simulates the acceptance scenario: revert LQS_NOALLOC from
+        # EstimateInto and the static-analysis job must fail.
+        def read_text(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            if path.endswith("estimator.h"):
+                text = text.replace("LQS_NOALLOC void EstimateInto",
+                                    "void EstimateInto")
+            return text
+
+        model, errors = frontend_lite.parse_files(list(self.HEADERS),
+                                                  read_text=read_text)
+        self.assertEqual(errors, [])
+        findings = checks.check_noalloc(model, pairing_file=self.PAIRING)
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("no such annotation exists", findings[0].message)
+        self.assertIn("ProgressEstimator::EstimateInto",
+                      findings[0].message)
+
+    def test_removing_a_marker_orphans_its_annotation(self):
+        with open(self.PAIRING, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        text = text.replace(
+            "// LQS_NOALLOC_PAIRED: MonitorService::ComputeStatus", "//")
+        findings = checks.check_noalloc(parse(*self.HEADERS),
+                                        pairing_file=self.PAIRING,
+                                        pairing_text=text)
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("no paired runtime check", findings[0].message)
+        self.assertIn("MonitorService::ComputeStatus", findings[0].message)
+
+
+class LayeringFixtureTest(unittest.TestCase):
+    ROOT = os.path.join(TESTDATA, "layering")
+
+    def test_upward_include_is_the_only_finding(self):
+        files = []
+        for dirpath, _, names in os.walk(self.ROOT):
+            files.extend(os.path.join(dirpath, n) for n in names)
+        findings = checks.check_layering(parse(*files), self.ROOT)
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        bad = os.path.join(self.ROOT, "src", "common", "clock.h")
+        self.assertEqual(findings[0].file, bad)
+        self.assertEqual(findings[0].line, line_of(bad, "lqs/progress.h"))
+        self.assertIn("may not include 'lqs/progress.h'",
+                      findings[0].message)
+
+
+class CycleFixtureTest(unittest.TestCase):
+    ROOT = os.path.join(TESTDATA, "cycle")
+
+    def test_include_cycle_reported_once(self):
+        alpha = os.path.join(self.ROOT, "src", "common", "alpha.h")
+        beta = os.path.join(self.ROOT, "src", "common", "beta.h")
+        findings = checks.check_layering(parse(alpha, beta), self.ROOT)
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("include cycle:", findings[0].message)
+        self.assertIn("alpha.h", findings[0].message)
+        self.assertIn("beta.h", findings[0].message)
+
+
+class LayerConfigTest(unittest.TestCase):
+    def test_default_layers_are_acyclic(self):
+        self.assertIsNone(checks._config_cycle(checks.DEFAULT_LAYERS))
+
+    def test_cyclic_config_is_reported(self):
+        layers = {"a": {"b"}, "b": {"a"}}
+        cycle = checks._config_cycle(layers)
+        self.assertEqual(cycle, ["a", "b"])
+
+
+class DriverTest(unittest.TestCase):
+    def test_real_tree_is_clean(self):
+        self.assertEqual(
+            lqs_verify.run(["--root", REPO_ROOT, "--frontend", "lite"]), 0)
+
+    def test_fixture_violations_exit_nonzero(self):
+        code = lqs_verify.run(
+            ["--root", TESTDATA, "--frontend", "lite", "--checks", "status",
+             "--no-pairing", os.path.join(TESTDATA, "status_fixture.cc")])
+        self.assertEqual(code, 1)
+
+    def test_unknown_check_is_a_usage_error(self):
+        self.assertEqual(
+            lqs_verify.run(["--root", REPO_ROOT, "--checks", "nope"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,12 @@
+// Cycle fixture: alpha and beta include each other (same layer, so the
+// layer map is satisfied — only the cycle detector fires).
+#ifndef FIXTURE_CYCLE_ALPHA_H_
+#define FIXTURE_CYCLE_ALPHA_H_
+
+#include "common/beta.h"
+
+namespace fixture {
+struct Alpha {};
+}  // namespace fixture
+
+#endif  // FIXTURE_CYCLE_ALPHA_H_

@@ -1,0 +1,11 @@
+// Cycle fixture: the other half of the alpha <-> beta include cycle.
+#ifndef FIXTURE_CYCLE_BETA_H_
+#define FIXTURE_CYCLE_BETA_H_
+
+#include "common/alpha.h"
+
+namespace fixture {
+struct Beta {};
+}  // namespace fixture
+
+#endif  // FIXTURE_CYCLE_BETA_H_

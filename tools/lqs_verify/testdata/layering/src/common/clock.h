@@ -1,0 +1,12 @@
+// Layering fixture: common/ is the bottom layer. Including lqs/ from here
+// is an upward include — the seeded violation this fixture exists for.
+#ifndef FIXTURE_COMMON_CLOCK_H_
+#define FIXTURE_COMMON_CLOCK_H_
+
+#include "lqs/progress.h"  // VIOLATION: common -> lqs is upward
+
+namespace fixture {
+double NowMs();
+}  // namespace fixture
+
+#endif  // FIXTURE_COMMON_CLOCK_H_

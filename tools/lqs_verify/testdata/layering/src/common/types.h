@@ -1,0 +1,9 @@
+// Layering fixture: a clean bottom-layer header.
+#ifndef FIXTURE_COMMON_TYPES_H_
+#define FIXTURE_COMMON_TYPES_H_
+
+namespace fixture {
+using NodeId = int;
+}  // namespace fixture
+
+#endif  // FIXTURE_COMMON_TYPES_H_

@@ -1,0 +1,11 @@
+// Layering fixture: lqs/ may depend on common/ — this file is clean.
+#ifndef FIXTURE_LQS_PROGRESS_H_
+#define FIXTURE_LQS_PROGRESS_H_
+
+#include "common/types.h"
+
+namespace fixture {
+double Progress();
+}  // namespace fixture
+
+#endif  // FIXTURE_LQS_PROGRESS_H_

@@ -1,0 +1,12 @@
+// Layering fixture: monitor/ sits on top and may include lqs/ — clean.
+#ifndef FIXTURE_MONITOR_SERVICE_H_
+#define FIXTURE_MONITOR_SERVICE_H_
+
+#include "common/types.h"
+#include "lqs/progress.h"
+
+namespace fixture {
+void Tick();
+}  // namespace fixture
+
+#endif  // FIXTURE_MONITOR_SERVICE_H_

@@ -1,0 +1,73 @@
+// Fixture for the noalloc checker. Cases are located by unique substrings
+// from test_lqs_verify.py, so lines may move but markers must stay unique.
+#include <memory>
+#include <vector>
+
+#define LQS_NOALLOC
+#define LQS_ALLOC_OK(justification)
+
+namespace lqs {
+
+struct Buffer {
+  std::vector<int> values;
+};
+
+// Two-deep chain: root -> Middle -> Leaf -> operator new.
+int* Leaf() { return new int(7); }  // the allocation site
+
+int* Middle() { return Leaf(); }
+
+LQS_NOALLOC int* DeepRoot() { return Middle(); }  // case: deep chain
+
+// Direct container growth inside an annotated function.
+LQS_NOALLOC void GrowDirect(Buffer* buffer) {
+  buffer->values.push_back(1);  // case: direct growth
+}
+
+// A justified boundary: traversal stops here, its body is not analyzed.
+LQS_ALLOC_OK("setup-time sizing; called once per session")
+void SizingBoundary(Buffer* buffer) { buffer->values.resize(64); }
+
+LQS_NOALLOC void ThroughBoundary(Buffer* buffer) {
+  SizingBoundary(buffer);  // clean: callee is a declared boundary
+}
+
+// Line-level suppression with a justification: clean.
+LQS_NOALLOC void SuppressedLine(Buffer* buffer) {
+  // LQS_ALLOC_OK("capacity pre-sized by SizingBoundary")
+  buffer->values.assign(64, 0);
+}
+
+// Line-level suppression with no justification: itself a finding.
+LQS_NOALLOC void EmptySuppression(Buffer* buffer) {
+  buffer->values.assign(64, 0);  // LQS_ALLOC_OK()
+}
+
+// Virtual dispatch is outside the checked chains.
+class Sink {
+ public:
+  virtual void Push(int value) = 0;
+  virtual ~Sink() = default;
+};
+
+class VectorSink : public Sink {
+ public:
+  void Push(int value) override { storage_.push_back(value); }
+
+ private:
+  std::vector<int> storage_;
+};
+
+LQS_NOALLOC void ThroughVirtual(Sink* sink) {
+  sink->Push(3);  // clean: virtual call, not followed
+}
+
+// Conflicting annotations on one function: a finding.
+LQS_NOALLOC LQS_ALLOC_OK("cannot be both")
+void Conflicted();  // case: conflict
+
+// Function-level escape with an empty justification: a finding.
+LQS_ALLOC_OK("")
+void Unjustified(Buffer* buffer);  // case: empty function justification
+
+}  // namespace lqs

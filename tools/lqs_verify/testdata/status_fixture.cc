@@ -1,0 +1,49 @@
+// Fixture for the status-discipline checker. Each numbered case is asserted
+// exactly by test_lqs_verify.py; renumbering lines breaks the suite.
+#include <string>
+
+namespace lqs {
+
+class Status {
+ public:
+  static Status OK();
+  bool ok() const;
+};
+
+Status Connect(const std::string& target);
+Status Disconnect();
+int SideEffectOnly();
+
+void Cases() {
+  // case 1: plain discard — a finding.
+  Connect("a");
+
+  // case 2: explicit (void)-cast — still a finding; intent must be spelled
+  // out with a suppression comment instead.
+  (void)Connect("b");
+
+  // case 3: bound but never consulted — a finding.
+  Status dangling = Connect("c");
+
+  // case 4: bound and consulted — clean.
+  Status checked = Connect("d");
+  if (!checked.ok()) return;
+
+  // case 5: suppressed discard with a reason — clean.
+  Disconnect();  // lqs-verify: status-ok(teardown; failure is unobservable)
+
+  // case 6: suppression with an empty reason — the suppression itself is
+  // the finding.
+  Disconnect();  // lqs-verify: status-ok()
+
+  // case 7: non-Status call discarded — clean, outside this checker.
+  SideEffectOnly();
+
+  // case 8: member store keeps the result alive — clean.
+  struct Holder {
+    Status status;
+  } holder;
+  holder.status = Connect("e");
+}
+
+}  // namespace lqs

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # Benchmark runner: builds Release, runs the estimator-throughput bench, the
-# wire-format throughput bench, and the 64-session monitor scale bench, and
+# wire-format throughput bench, the 64-session monitor scale bench, and the
+# sharded monitor sweep (1k/4k/10k sessions, full-vs-delta transport), and
 # collects each family's trailing "BENCH {...}" JSON lines into one JSON
 # array per family.
 #
 #   $ scripts/bench.sh
 #
-# Output: BENCH_estimator.json and BENCH_remote.json in the repo root
-# (override the directory with BENCH_OUT_DIR). Build directory: build-bench
-# (override with BENCH_BUILD_DIR). CI runs this as a non-gating artifact
-# step — numbers are tracked, not asserted — but estimator_throughput itself
-# exits non-zero if the fresh and workspace-reusing modes ever diverge, and
-# that failure does gate.
+# Output: BENCH_estimator.json, BENCH_remote.json, and
+# BENCH_monitor_scale.json in the repo root (override the directory with
+# BENCH_OUT_DIR). Build directory: build-bench (override with
+# BENCH_BUILD_DIR). CI runs this as a non-gating artifact step — numbers are
+# tracked, not asserted — but estimator_throughput exits non-zero if the
+# fresh and workspace-reusing modes ever diverge, and monitor_scale --sweep
+# exits non-zero if a sharded run wedges, regresses per-session progress, or
+# the delta transport falls under its 3x bytes-per-session reduction floor;
+# those correctness failures do gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,3 +61,6 @@ run_family "$OUT_DIR/BENCH_estimator.json" \
 run_family "$OUT_DIR/BENCH_remote.json" \
   "$BUILD_DIR/bench/wire_throughput" \
   "$BUILD_DIR/bench/monitor_scale --threads=8 --sessions=64"
+
+run_family "$OUT_DIR/BENCH_monitor_scale.json" \
+  "$BUILD_DIR/bench/monitor_scale --sweep --threads=8"

@@ -1,0 +1,79 @@
+#ifndef LQS_MONITOR_LATENCY_RESERVOIR_H_
+#define LQS_MONITOR_LATENCY_RESERVOIR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lqs {
+
+/// Fixed-capacity uniform sample of a latency stream (Vitter's Algorithm R).
+///
+/// A monitor meant to run indefinitely cannot publish percentiles from
+/// vectors that grow by one element per tick — that is an unbounded-memory
+/// leak on the hot path, just slow enough to survive every short test. The
+/// reservoir holds a uniform random sample of everything ever Add()ed in
+/// O(capacity) memory: the first `capacity` values fill the slots, and the
+/// n-th value thereafter replaces a random slot with probability
+/// capacity/n. Quantiles over the sample converge on the stream's quantiles
+/// (512 slots put p95 within a couple of percentile ranks with high
+/// probability), and the estimate covers the whole stream, not a recent
+/// window — matching what the grow-forever vectors reported.
+///
+/// Allocation discipline: all slot storage is reserved at construction, so
+/// Add() never allocates — it is safe inside the monitor's per-tick
+/// allocation budget (tests/estimator_alloc_test.cc). Quantile() sorts a
+/// scratch copy and is meant for the stats() read path, not the tick path.
+///
+/// Determinism: replacement draws come from a seeded lqs::Rng, so identical
+/// streams yield identical samples run to run.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 512,
+                            uint64_t seed = 0x1a7e9c5)
+      : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {
+    slots_.reserve(capacity_);
+  }
+
+  void Add(double value) {
+    ++count_;
+    if (slots_.size() < capacity_) {
+      slots_.push_back(value);  // within the reserve: no allocation
+      return;
+    }
+    const uint64_t j = rng_.NextBelow(count_);
+    if (j < capacity_) slots_[static_cast<size_t>(j)] = value;
+  }
+
+  /// Values ever observed (not the sample size).
+  uint64_t count() const { return count_; }
+  size_t sample_size() const { return slots_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return slots_.empty(); }
+
+  /// Nearest-rank quantile of the sample, q in [0, 1]; 0 when empty.
+  /// Allocates a sorted scratch copy — stats()-path only.
+  double Quantile(double q) const {
+    if (slots_.empty()) return 0;
+    std::vector<double> sorted(slots_);
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(clamped * static_cast<double>(sorted.size() - 1)));
+    return sorted[rank];
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t count_ = 0;
+  Rng rng_;
+  std::vector<double> slots_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_MONITOR_LATENCY_RESERVOIR_H_

@@ -1,0 +1,33 @@
+#ifndef LQS_MONITOR_MONITOR_AGGREGATOR_H_
+#define LQS_MONITOR_MONITOR_AGGREGATOR_H_
+
+#include <vector>
+
+#include "monitor/monitor_service.h"
+
+namespace lqs {
+
+/// Merges per-shard MonitorStats into one fleet view.
+///
+/// Merge semantics, by field class:
+///  - event counters (reports, polls, bytes, accepted/rejected, ...) and
+///    session counts: summed;
+///  - ticks: the maximum — shards tick the same shared timeline, so the
+///    fleet has ticked as often as its most-ticked shard (backpressure may
+///    hold individual shards below that);
+///  - wall/estimate time: summed (the sharded monitor ticks shards
+///    sequentially on the driver, so shard wall times are disjoint) and
+///    throughput is recomputed from the merged sums, never averaged from
+///    per-shard rates;
+///  - latency percentiles: the worst (maximum) across shards. Percentiles
+///    of disjoint streams cannot be combined exactly from summaries alone,
+///    and for an SLO readout the conservative bound is the useful one —
+///    "every shard's p95 is at or below this".
+class MonitorAggregator {
+ public:
+  static MonitorStats Merge(const std::vector<MonitorStats>& shard_stats);
+};
+
+}  // namespace lqs
+
+#endif  // LQS_MONITOR_MONITOR_AGGREGATOR_H_

@@ -222,6 +222,10 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
     transport.regressions_rejected += cs.regressions_rejected;
     transport.failed_polls += cs.failed_polls;
     transport.stale_polls += cs.stale_polls;
+    transport.bytes_received += cs.bytes_received;
+    transport.deltas_applied += cs.deltas_applied;
+    transport.delta_resyncs += cs.delta_resyncs;
+    transport.request_id_mismatches += cs.request_id_mismatches;
   }
   // Counter updates happen after the ParallelFor barrier, under stats_mu_
   // only — the pool's lock is never held here, so the kMonitorStats <
@@ -230,7 +234,7 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   last_degraded_ = degraded;
   transport_totals_ = transport;
   wall_ms_ += tick_wall_ms;
-  tick_latencies_ms_.push_back(tick_wall_ms);
+  tick_latencies_ms_.Add(tick_wall_ms);
   ++ticks_;
   last_active_ = last_waiting_ = last_done_ = 0;
   for (const SessionStatus& s : statuses) {
@@ -244,7 +248,7 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   for (double latency : latencies) {
     if (latency >= 0) {
       ++reports_computed_;
-      estimate_latencies_ms_.push_back(latency);
+      estimate_latencies_ms_.Add(latency);
       estimate_wall_ms_ += latency;
       last_tick_estimate_ms_ += latency;
       max_estimate_latency_ms_ = std::max(max_estimate_latency_ms_, latency);
@@ -270,8 +274,18 @@ void MonitorService::RunToCompletion(
     }
     return;
   }
+  // Tick times are indexed (t = i * tick), never accumulated (t += tick):
+  // accumulation compounds one rounding error per iteration, and over
+  // thousands of ticks with a binary-inexact tick width the drift exceeds
+  // the 1e-9 horizon slack — the final nominal tick lands past the horizon
+  // and is silently skipped, leaving every session one tick short of its
+  // completion report. One multiply per tick has a single rounding, so the
+  // i-th tick is the same double no matter how many preceded it.
+  int64_t i = 1;
   double t = tick;
-  for (; t <= horizon + 1e-9; t += tick) {
+  for (;; ++i) {
+    t = static_cast<double>(i) * tick;
+    if (t > horizon + 1e-9) break;
     auto statuses = Tick(t);
     if (render) render(t, statuses);
   }
@@ -285,7 +299,8 @@ void MonitorService::RunToCompletion(
        extra < options_.max_overtime_ticks && !AllSessionsDone(); ++extra) {
     auto statuses = Tick(t);
     if (render) render(t, statuses);
-    t += tick;
+    ++i;
+    t = static_cast<double>(i) * tick;
   }
 }
 
@@ -335,17 +350,11 @@ MonitorStats MonitorService::stats() const {
     stats.reports_per_sec =
         static_cast<double>(reports_computed_) / (wall_ms_ / 1000.0);
   }
-  auto percentiles = [](std::vector<double> values, double* p50, double* p95) {
+  auto percentiles = [](const LatencyReservoir& values, double* p50,
+                        double* p95) {
     if (values.empty()) return;
-    std::sort(values.begin(), values.end());
-    auto at = [&values](double p) {
-      const size_t rank = std::min(
-          values.size() - 1,
-          static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
-      return values[rank];
-    };
-    *p50 = at(0.50);
-    *p95 = at(0.95);
+    *p50 = values.Quantile(0.50);
+    *p95 = values.Quantile(0.95);
   };
   stats.estimate_wall_ms = estimate_wall_ms_;
   stats.max_estimate_latency_ms = max_estimate_latency_ms_;
@@ -368,6 +377,10 @@ MonitorStats MonitorService::stats() const {
   stats.duplicates_ignored = transport_totals_.duplicates_ignored;
   stats.regressions_rejected = transport_totals_.regressions_rejected;
   stats.stale_reports = transport_totals_.stale_polls;
+  stats.transport_bytes = transport_totals_.bytes_received;
+  stats.deltas_applied = transport_totals_.deltas_applied;
+  stats.delta_resyncs = transport_totals_.delta_resyncs;
+  stats.request_id_mismatches = transport_totals_.request_id_mismatches;
   return stats;
 }
 

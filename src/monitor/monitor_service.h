@@ -17,6 +17,7 @@
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
 #include "lqs/estimator.h"
+#include "monitor/latency_reservoir.h"
 #include "monitor/thread_pool.h"
 #include "remote/polling_client.h"
 #include "storage/catalog.h"
@@ -136,6 +137,16 @@ struct MonitorStats {
   uint64_t regressions_rejected = 0;
   /// Ticks on which a session served held/interpolated data.
   uint64_t stale_reports = 0;
+  /// Wire bytes received across all remote sessions — the number the delta
+  /// protocol drives down (bench/monitor_scale divides it out per session
+  /// per second, full vs delta).
+  uint64_t transport_bytes = 0;
+  /// Snapshot deltas applied against acked bases, resyncs that fell back
+  /// to a keyframe, and responses answering a different request_id than
+  /// the one in flight (late/misrouted deliveries).
+  uint64_t deltas_applied = 0;
+  uint64_t delta_resyncs = 0;
+  uint64_t request_id_mismatches = 0;
 };
 
 /// Owns many concurrently-monitored query sessions and replays their DMV
@@ -310,8 +321,12 @@ class MonitorService {
   double estimate_wall_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
   double max_estimate_latency_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
   double last_tick_estimate_ms_ LQS_GUARDED_BY(stats_mu_) = 0;
-  std::vector<double> estimate_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
-  std::vector<double> tick_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
+  /// Latency distributions behind the published p50/p95: fixed-capacity
+  /// reservoir samples, not grow-forever vectors — a service that ticks
+  /// indefinitely must hold its stats in O(1) memory (and Add() must not
+  /// allocate inside the tick's budget, see latency_reservoir.h).
+  LatencyReservoir estimate_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
+  LatencyReservoir tick_latencies_ms_ LQS_GUARDED_BY(stats_mu_);
   /// Transport aggregates, recomputed by the driver after each tick's
   /// barrier from the per-session clients and published here for stats().
   size_t last_degraded_ LQS_GUARDED_BY(stats_mu_) = 0;

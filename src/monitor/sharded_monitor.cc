@@ -1,0 +1,171 @@
+#include "monitor/sharded_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace lqs {
+
+ShardedMonitor::ShardedMonitor(ShardedMonitorOptions options)
+    : options_(options),
+      router_(options.num_shards, options.virtual_nodes) {
+  shards_.resize(static_cast<size_t>(router_.num_shards()));
+  for (Shard& shard : shards_) {
+    shard.service = std::make_unique<MonitorService>(options_.shard_options);
+  }
+}
+
+int ShardedMonitor::RegisterSession(std::string name, const Plan* plan,
+                                    const Catalog* catalog,
+                                    const ProfileTrace* trace,
+                                    double start_offset_ms,
+                                    const EstimatorOptions& estimator_options) {
+  const int shard_id = router_.ShardFor(name);
+  Shard& shard = shards_[static_cast<size_t>(shard_id)];
+  const int local_id = shard.service->RegisterSession(
+      std::move(name), plan, catalog, trace, start_offset_ms,
+      estimator_options);
+  const int global_id = static_cast<int>(session_homes_.size());
+  session_homes_.push_back(SessionHome{shard_id, local_id});
+  shard.global_ids.push_back(global_id);
+  return global_id;
+}
+
+int ShardedMonitor::RegisterRemoteSession(
+    std::string name, const Plan* plan, const Catalog* catalog,
+    std::unique_ptr<SnapshotEndpoint> endpoint, double start_offset_ms,
+    const PollingClientOptions& client_options,
+    const EstimatorOptions& estimator_options) {
+  const int shard_id = router_.ShardFor(name);
+  Shard& shard = shards_[static_cast<size_t>(shard_id)];
+  const int local_id = shard.service->RegisterRemoteSession(
+      std::move(name), plan, catalog, std::move(endpoint), start_offset_ms,
+      client_options, estimator_options);
+  const int global_id = static_cast<int>(session_homes_.size());
+  session_homes_.push_back(SessionHome{shard_id, local_id});
+  shard.global_ids.push_back(global_id);
+  return global_id;
+}
+
+double ShardedMonitor::HorizonMs() const {
+  double horizon = 0;
+  for (const Shard& shard : shards_) {
+    horizon = std::max(horizon, shard.service->HorizonMs());
+  }
+  return horizon;
+}
+
+bool ShardedMonitor::AllSessionsDone() const {
+  for (const Shard& shard : shards_) {
+    if (!shard.service->AllSessionsDone()) return false;
+  }
+  return true;
+}
+
+void ShardedMonitor::AdjustBackpressure(Shard* shard) {
+  if (options_.shard_tick_budget_ms <= 0) return;
+  if (shard->last_tick_wall_ms > options_.shard_tick_budget_ms) {
+    shard->poll_divisor =
+        std::min(shard->poll_divisor * 2, std::max(1, options_.max_poll_divisor));
+  } else if (shard->last_tick_wall_ms < options_.shard_tick_budget_ms / 2) {
+    shard->poll_divisor = std::max(1, shard->poll_divisor / 2);
+  }
+}
+
+std::vector<SessionStatus> ShardedMonitor::Tick(double now_ms) {
+  std::vector<SessionStatus> statuses(session_homes_.size());
+  // Completion is exempt from backpressure: at or past the horizon every
+  // shard ticks every time, so degraded shards still deliver their final
+  // reports instead of holding a stale running view forever.
+  const bool at_horizon = now_ms + 1e-9 >= HorizonMs();
+  for (Shard& shard : shards_) {
+    const bool due =
+        shard.held.empty() || shard.poll_divisor <= 1 || at_horizon ||
+        tick_index_ % static_cast<uint64_t>(shard.poll_divisor) == 0;
+    if (due) {
+      const auto start = std::chrono::steady_clock::now();
+      shard.held = shard.service->Tick(now_ms);
+      shard.last_tick_wall_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+      AdjustBackpressure(&shard);
+    } else {
+      // Skipped by admission control: the held view is served as-is, but
+      // flagged — a dashboard must know it is looking at old data.
+      for (SessionStatus& held : shard.held) {
+        if (held.state == SessionState::kRunning) held.stale = true;
+      }
+    }
+    for (size_t local = 0; local < shard.held.size(); ++local) {
+      const int global_id = shard.global_ids[local];
+      statuses[static_cast<size_t>(global_id)] = shard.held[local];
+      statuses[static_cast<size_t>(global_id)].session_id = global_id;
+    }
+  }
+  ++tick_index_;
+  return statuses;
+}
+
+void ShardedMonitor::RunToCompletion(
+    const std::function<void(double, const std::vector<SessionStatus>&)>&
+        render) {
+  const MonitorOptions& mo = options_.shard_options;
+  const double horizon = HorizonMs();
+  const double tick =
+      mo.tick_ms > 0 ? mo.tick_ms
+                     : horizon / std::max(1, mo.ticks_per_horizon);
+  if (tick <= 0) {
+    if (!session_homes_.empty()) {
+      auto statuses = Tick(0);
+      if (render) render(0, statuses);
+    }
+    return;
+  }
+  // Indexed, not accumulated, for the same drift reason as
+  // MonitorService::RunToCompletion.
+  int64_t i = 1;
+  double t = tick;
+  for (;; ++i) {
+    t = static_cast<double>(i) * tick;
+    if (t > horizon + 1e-9) break;
+    auto statuses = Tick(t);
+    if (render) render(t, statuses);
+  }
+  for (int extra = 0; extra < mo.max_overtime_ticks && !AllSessionsDone();
+       ++extra) {
+    auto statuses = Tick(t);
+    if (render) render(t, statuses);
+    ++i;
+    t = static_cast<double>(i) * tick;
+  }
+}
+
+ValidationReport ShardedMonitor::FinalCheck() {
+  ValidationReport merged;
+  for (Shard& shard : shards_) {
+    merged.Merge(shard.service->FinalCheck());
+  }
+  return merged;
+}
+
+MonitorStats ShardedMonitor::stats() const {
+  return MonitorAggregator::Merge(shard_stats());
+}
+
+std::vector<MonitorStats> ShardedMonitor::shard_stats() const {
+  std::vector<MonitorStats> stats;
+  stats.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    stats.push_back(shard.service->stats());
+  }
+  return stats;
+}
+
+const ClientStats& ShardedMonitor::session_client_stats(
+    int session_id) const {
+  const SessionHome& home = session_homes_[static_cast<size_t>(session_id)];
+  return shards_[static_cast<size_t>(home.shard)]
+      .service->session_client_stats(home.local_id);
+}
+
+}  // namespace lqs

@@ -1,22 +1,70 @@
 #include "remote/endpoint.h"
 
+#include <cstring>
+#include <utility>
+
 #include "remote/wire.h"
 
 namespace lqs {
 
+namespace {
+
+/// Bit-exact double identity (lint rule 3: no float == in estimator code —
+/// and identity, not numeric equality, is what the delta protocol needs:
+/// the ack names one specific snapshot, NaN-safe).
+bool SameBits(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+}  // namespace
+
 PollResult LoopbackEndpoint::Poll(const PollRequest& request) {
   PollResponse response;
   response.request_id = request.request_id;
+  const ProfileSnapshot* target = nullptr;
+  bool complete = false;
   if (request.now_ms >= trace_->total_elapsed_ms) {
     // The query is done: every poll from here on returns the final
     // counters, flagged complete so the client can stop retrying.
-    response.has_snapshot = true;
-    response.query_complete = true;
-    response.snapshot = trace_->final_snapshot;
-  } else if (const ProfileSnapshot* snapshot =
-                 trace_->SnapshotAtOrBefore(request.now_ms)) {
-    response.has_snapshot = true;
-    response.snapshot = *snapshot;
+    // Completion is always a full snapshot — the one message that must
+    // never depend on state the client might have lost.
+    target = &trace_->final_snapshot;
+    complete = true;
+  } else {
+    target = trace_->SnapshotAtOrBefore(request.now_ms);
+  }
+  if (target != nullptr) {
+    bool sent_delta = false;
+    const bool keyframe_due =
+        options_.keyframe_interval > 0 &&
+        deltas_since_keyframe_ + 1 >= options_.keyframe_interval;
+    if (options_.serve_deltas && !complete && request.has_ack &&
+        !request.want_keyframe && !keyframe_due) {
+      // The ack names a snapshot by bit-exact time; it is a valid base only
+      // if this trace actually holds it (an ack from another query's
+      // timeline, or one damaged in flight, falls back to a keyframe).
+      const ProfileSnapshot* base =
+          trace_->SnapshotAtOrBefore(request.ack_time_ms);
+      if (base != nullptr && SameBits(base->time_ms, request.ack_time_ms)) {
+        StatusOr<SnapshotDelta> delta = MakeSnapshotDelta(*base, *target);
+        if (delta.ok()) {
+          response.has_delta = true;
+          response.delta = std::move(delta).value();
+          sent_delta = true;
+        }
+      }
+    }
+    if (sent_delta) {
+      ++deltas_since_keyframe_;
+    } else {
+      response.has_snapshot = true;
+      response.query_complete = complete;
+      response.snapshot = *target;
+      deltas_since_keyframe_ = 0;
+    }
   }
   PollResult result;
   EncodePollResponse(response, &result.frame);

@@ -17,6 +17,16 @@ struct PollRequest {
   uint64_t request_id = 0;
   double now_ms = 0;
   double deadline_ms = 0;
+  /// Delta protocol (DESIGN.md §13). `has_ack` says the client holds the
+  /// snapshot whose bit-exact time is `ack_time_ms`; a delta-capable server
+  /// may answer with a SnapshotDelta against that base instead of a full
+  /// snapshot. A lost delta simply leaves the ack where it was — the server
+  /// keeps diffing against the base the client actually holds.
+  bool has_ack = false;
+  double ack_time_ms = 0;
+  /// Set after the client hit a delta it could not apply (base mismatch):
+  /// demand a full keyframe regardless of ack state.
+  bool want_keyframe = false;
 };
 
 /// Transport-level outcome of one poll attempt. `status` describes the
@@ -57,20 +67,40 @@ class SnapshotEndpoint {
   virtual double KnownHorizonMs() const { return -1; }
 };
 
+/// Server-side delta policy for trace-backed endpoints.
+struct LoopbackOptions {
+  /// Serve SnapshotDelta frames against the client's acknowledged base when
+  /// the request carries one; full snapshots otherwise.
+  bool serve_deltas = false;
+  /// Every `keyframe_interval`-th consecutive delta is replaced by a full
+  /// snapshot keyframe, bounding how long a client that lost its base can
+  /// go before resyncing without a round trip. <= 0 disables periodic
+  /// keyframes (resync then relies on want_keyframe).
+  int keyframe_interval = 16;
+};
+
 /// In-process endpoint backed by an executed query's ProfileTrace — the
 /// zero-latency, zero-loss baseline. Still round-trips every response
 /// through the wire format, so a loopback session exercises the same
-/// encode/decode path as a genuinely remote one.
+/// encode/decode path as a genuinely remote one. With
+/// LoopbackOptions::serve_deltas it also implements the server half of the
+/// delta protocol: diff against the acked base, keyframe on schedule or on
+/// demand, always full for completion.
 class LoopbackEndpoint : public SnapshotEndpoint {
  public:
   /// `trace` must outlive the endpoint.
-  explicit LoopbackEndpoint(const ProfileTrace* trace) : trace_(trace) {}
+  explicit LoopbackEndpoint(const ProfileTrace* trace,
+                            LoopbackOptions options = {})
+      : trace_(trace), options_(options) {}
 
   PollResult Poll(const PollRequest& request) override;
   double KnownHorizonMs() const override { return trace_->total_elapsed_ms; }
 
  private:
   const ProfileTrace* trace_;
+  LoopbackOptions options_;
+  /// Consecutive delta responses since the last full snapshot went out.
+  int deltas_since_keyframe_ = 0;
 };
 
 }  // namespace lqs

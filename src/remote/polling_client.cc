@@ -92,7 +92,60 @@ void PollingClient::Interpolate(double now_ms) {
     }
     out.cpu_time_ms += f * std::max(0.0, last.cpu_time_ms - prev.cpu_time_ms);
     out.io_time_ms += f * std::max(0.0, last.io_time_ms - prev.io_time_ms);
+    // A synthetic snapshot must stay internally consistent: counters we
+    // just advanced represent activity happening *now*, so the operator's
+    // activity timestamp moves to the snapshot time — an operator whose
+    // rows grew while last_active_ms sat in the past would contradict
+    // itself (and time_ms) to any consumer of activity recency.
+    const bool advanced = out.row_count != last.row_count ||
+                          out.logical_read_count != last.logical_read_count ||
+                          out.segment_read_count != last.segment_read_count;
+    if (advanced && out.opened && !out.closed) {
+      out.last_active_ms = interpolated_.time_ms;
+    }
   }
+}
+
+void PollingClient::ServeClamped(const ProfileSnapshot& source) {
+  if (!have_served_ || served_.operators.size() != source.operators.size()) {
+    served_ = source;
+    have_served_ = true;
+    view_.snapshot = &served_;
+    return;
+  }
+  // Element-wise monotone floor: the served view only ever moves forward.
+  // When interpolation overshot reality, the next real snapshot lands
+  // *below* the floor and the view holds flat until execution catches up —
+  // a pause, not the backwards jump that violates §5 monotonicity.
+  served_.time_ms = std::max(served_.time_ms, source.time_ms);
+  for (size_t i = 0; i < served_.operators.size(); ++i) {
+    OperatorProfile& s = served_.operators[i];
+    const OperatorProfile& n = source.operators[i];
+    // Monotone-by-contract counters and clocks: floor them.
+    s.row_count = std::max(s.row_count, n.row_count);
+    s.rebind_count = std::max(s.rebind_count, n.rebind_count);
+    s.logical_read_count = std::max(s.logical_read_count, n.logical_read_count);
+    s.segment_read_count = std::max(s.segment_read_count, n.segment_read_count);
+    s.segment_total_count =
+        std::max(s.segment_total_count, n.segment_total_count);
+    s.cpu_time_ms = std::max(s.cpu_time_ms, n.cpu_time_ms);
+    s.io_time_ms = std::max(s.io_time_ms, n.io_time_ms);
+    s.last_active_ms = std::max(s.last_active_ms, n.last_active_ms);
+    // Legitimately non-monotone fields pass through: the optimizer refines
+    // estimates in both directions (§4), and totals can be re-learned.
+    s.estimate_row_count = n.estimate_row_count;
+    s.total_pages = n.total_pages;
+    // One-shot timestamps are sticky once set (-1 means unset): a view in
+    // which an operator un-opens would be nonsense.
+    if (s.open_time_ms < 0) s.open_time_ms = n.open_time_ms;
+    if (s.first_row_ms < 0) s.first_row_ms = n.first_row_ms;
+    if (s.close_time_ms < 0) s.close_time_ms = n.close_time_ms;
+    s.opened = s.opened || n.opened;
+    s.closed = s.closed || n.closed;
+    s.finished = s.finished || n.finished;
+    s.has_pushed_predicate = n.has_pushed_predicate;
+  }
+  view_.snapshot = &served_;
 }
 
 void PollingClient::BuildView(double now_ms, bool accepted_fresh,
@@ -116,13 +169,22 @@ void PollingClient::BuildView(double now_ms, bool accepted_fresh,
   }
   view_.staleness_ms = std::max(0.0, now_ms - last_accepted_.time_ms);
   if (view_.stale) ++stats_.stale_polls;
-  if (view_.stale && !complete_ &&
+  if (complete_) {
+    // The final snapshot is ground truth and progress 1.0 dominates every
+    // earlier value, so it is served unclamped (an interpolated floor that
+    // overshot must not outlive the query); the floor resets onto it.
+    served_ = last_accepted_;
+    have_served_ = true;
+    view_.snapshot = &served_;
+    return;
+  }
+  if (view_.stale &&
       options_.staleness_policy == StalenessPolicy::kInterpolate &&
       have_prev_) {
     Interpolate(now_ms);
-    view_.snapshot = &interpolated_;
+    ServeClamped(interpolated_);
   } else {
-    view_.snapshot = &last_accepted_;
+    ServeClamped(last_accepted_);
   }
 }
 
@@ -147,6 +209,12 @@ const ClientView& PollingClient::Poll(double now_ms) {
     request.request_id = next_request_id_++;
     request.now_ms = attempt_time;
     request.deadline_ms = attempt_time + options_.timeout_ms;
+    // Delta protocol: acknowledge the snapshot we hold so a delta-capable
+    // server can diff against it; after an unappliable delta, demand a
+    // keyframe instead.
+    request.has_ack = have_snapshot_;
+    request.ack_time_ms = last_accepted_.time_ms;
+    request.want_keyframe = need_keyframe_;
     PollResult result = endpoint_->Poll(request);
     const bool timed_out =
         !result.status.ok() || result.arrival_ms > request.deadline_ms;
@@ -162,6 +230,7 @@ const ClientView& PollingClient::Poll(double now_ms) {
       backoff *= options_.backoff_multiplier;
       continue;
     }
+    stats_.bytes_received += result.frame.size();
     StatusOr<PollResponse> response = DecodePollResponse(result.frame);
     if (!response.ok()) {
       // Bytes arrived damaged (truncated / bit-flipped / CRC). The decoder
@@ -178,20 +247,66 @@ const ClientView& PollingClient::Poll(double now_ms) {
       continue;
     }
     link_alive = true;
-    if (response->has_snapshot &&
-        MaybeAccept(std::move(response->snapshot),
-                    response->query_complete)) {
-      accepted_fresh = true;
-      break;
+    if (response->request_id != request.request_id) {
+      // A response to a request other than the one just sent: a late
+      // delivery surfacing from behind the link's queue, or a misroute.
+      // Late deliveries are legitimate data, so the payload still goes
+      // through the recency filter below — but the event is counted, so a
+      // link that systematically answers the wrong question is visible.
+      ++stats_.request_id_mismatches;
     }
-    if (!response->has_snapshot) {
-      // The server genuinely has nothing yet (query younger than its first
-      // DMV sample). Not a failure; nothing to chase this tick.
-      break;
+    if (response->has_delta) {
+      ProfileSnapshot reassembled;
+      Status applied =
+          have_snapshot_
+              ? ApplySnapshotDelta(response->delta, last_accepted_,
+                                   &reassembled)
+              : Status::NotFound("remote: delta with no base snapshot");
+      if (applied.ok()) {
+        ++stats_.deltas_applied;
+        if (MaybeAccept(std::move(reassembled), response->query_complete)) {
+          accepted_fresh = true;
+          break;
+        }
+        // Reassembled to a duplicate (the server had no fresh snapshot):
+        // no news; remaining attempts keep chasing.
+      } else if (applied.code() == Status::Code::kNotFound) {
+        // Base mismatch: our ack raced a keyframe, or we never had a base.
+        // State is untouched — demand a keyframe on the next request
+        // instead of guessing.
+        need_keyframe_ = true;
+        ++stats_.delta_resyncs;
+      } else {
+        // Structurally invalid delta (operator count, bad index): the
+        // frame passed CRC but the message is nonsense. Same treatment as
+        // a decode error.
+        ++stats_.decode_errors;
+        const double capped = std::min(backoff, options_.backoff_max_ms);
+        const double jitter =
+            1.0 + options_.jitter_fraction *
+                      (2.0 * jitter_rng_.NextDouble() - 1.0);
+        attempt_time += std::max(0.0, capped * jitter);
+        backoff *= options_.backoff_multiplier;
+      }
+      continue;
     }
-    // A duplicate or reordered-stale delivery: the link works but this
-    // response carries no news. Remaining attempts chase the fresh data
-    // that may sit behind it (e.g. behind a late-delivery queue).
+    if (response->has_snapshot) {
+      // A full snapshot always resynchronizes the delta protocol, accepted
+      // or not — the server honored (or pre-empted) the keyframe demand.
+      need_keyframe_ = false;
+      if (MaybeAccept(std::move(response->snapshot),
+                      response->query_complete)) {
+        accepted_fresh = true;
+        break;
+      }
+      // A duplicate or reordered-stale delivery: the link works but this
+      // response carries no news. Remaining attempts chase the fresh data
+      // that may sit behind it (e.g. behind a late-delivery queue).
+      continue;
+    }
+    // The server genuinely has nothing yet (query younger than its first
+    // DMV sample). Not a failure; nothing to chase this tick.
+    break;
   }
   BuildView(now_ms, accepted_fresh, link_alive);
   return view_;

@@ -91,6 +91,18 @@ struct ClientStats {
   uint64_t failed_polls = 0;
   /// Poll() calls that served held/interpolated (stale) data.
   uint64_t stale_polls = 0;
+  /// Wire bytes that arrived (decodable or not) — the transport cost the
+  /// delta protocol exists to shrink.
+  uint64_t bytes_received = 0;
+  /// Deltas successfully applied to the acked base.
+  uint64_t deltas_applied = 0;
+  /// Deltas that could not be applied (base mismatch after a lost keyframe,
+  /// or no base at all) — each one flips the next request to want_keyframe.
+  uint64_t delta_resyncs = 0;
+  /// Decodable responses whose request_id was not the one just sent: late
+  /// or misrouted deliveries. They still flow through the recency filter
+  /// (late deliveries are legitimate data), but are now observable.
+  uint64_t request_id_mismatches = 0;
 };
 
 /// Polls a SnapshotEndpoint on the virtual timeline with per-request
@@ -104,6 +116,16 @@ struct ClientStats {
 ///    demand;
 ///  - on ticks with nothing fresh the last snapshot is held (or
 ///    interpolated, per StalenessPolicy) and flagged stale;
+///  - the *served* view is additionally clamped so counters never move
+///    backwards across consecutive Poll() calls: an interpolated view that
+///    overshot reality is held flat until reality catches up, instead of
+///    visibly regressing when the next real snapshot lands below it (§5
+///    monotonicity). Completion is the exception — the final snapshot is
+///    served as-is (it is the ground truth, and progress 1.0 dominates
+///    every earlier value);
+///  - snapshot deltas (wire.h) are reassembled against the last accepted
+///    snapshot; any gap — unknown base, lost keyframe — makes the next
+///    request demand a full keyframe instead of corrupting state;
 ///  - a consecutive-failure budget flips the session to kDegraded instead
 ///    of wedging it; one decodable response flips it back.
 ///
@@ -146,6 +168,10 @@ class PollingClient {
   bool MaybeAccept(ProfileSnapshot snapshot, bool query_complete);
   void BuildView(double now_ms, bool accepted_fresh, bool link_alive);
   void Interpolate(double now_ms);
+  /// Clamps `source` against the previously served view (element-wise
+  /// floor on monotone counters, sticky lifecycle flags) into served_ and
+  /// points the view at it.
+  void ServeClamped(const ProfileSnapshot& source);
 
   std::unique_ptr<SnapshotEndpoint> endpoint_;
   PollingClientOptions options_;
@@ -160,6 +186,14 @@ class PollingClient {
   ProfileSnapshot prev_accepted_;
   /// Storage the view's snapshot pointer targets under kInterpolate.
   ProfileSnapshot interpolated_;
+  /// Storage the view's snapshot pointer targets mid-run: the served view,
+  /// clamped so no counter ever moves backwards across Poll() calls.
+  ProfileSnapshot served_;
+  bool have_served_ = false;
+  /// Set when a delta could not be applied; the next request demands a
+  /// full keyframe and this stays set until one (or any full snapshot)
+  /// is accepted.
+  bool need_keyframe_ = false;
   bool complete_ = false;
   int consecutive_failures_ = 0;
 };

@@ -52,6 +52,35 @@ class WireWriter {
     out_->append(s);
   }
 
+  /// Compact encoding of an XOR of two IEEE-754 bit patterns: one prefix
+  /// byte packing (trailing-zero-byte count << 4 | significant-byte count),
+  /// then the significant bytes little-endian. Clock-like doubles differ in
+  /// a handful of mantissa bytes, so a changed timestamp usually costs 3-4
+  /// bytes instead of 8; the worst case is 9. Zero encodes as the single
+  /// byte 0x00. The form is canonical (maximal trailing-zero count, minimal
+  /// significant count), so decode→re-encode is byte-identical.
+  void PutXorCompact(uint64_t x) {
+    if (x == 0) {
+      PutByte(0);
+      return;
+    }
+    int tz = 0;
+    while ((x & 0xFF) == 0) {
+      x >>= 8;
+      ++tz;
+    }
+    uint64_t probe = x;
+    int sig = 0;
+    while (probe != 0) {
+      probe >>= 8;
+      ++sig;
+    }
+    PutByte(static_cast<uint8_t>((tz << 4) | sig));
+    for (int i = 0; i < sig; ++i) {
+      PutByte(static_cast<uint8_t>(x >> (8 * i)));
+    }
+  }
+
  private:
   std::string* out_;
 };
@@ -112,6 +141,40 @@ class WireReader {
     if (size > remaining()) return Truncated("string body");
     out->assign(data_.substr(pos_, size));
     pos_ += size;
+    return Status::OK();
+  }
+
+  /// Inverse of WireWriter::PutXorCompact. Rejects non-canonical forms
+  /// (zero with a nonzero prefix, leading/trailing zero significant bytes,
+  /// counts that overflow 8 bytes) so decode→re-encode stays byte-identical.
+  Status GetXorCompact(uint64_t* out) {
+    uint8_t prefix;
+    LQS_RETURN_IF_ERROR(GetByte(&prefix));
+    if (prefix == 0) {
+      *out = 0;
+      return Status::OK();
+    }
+    const int tz = prefix >> 4;
+    const int sig = prefix & 0x0F;
+    if (sig == 0 || sig > 8 || tz > 7 || tz + sig > 8) {
+      return Status::InvalidArgument(
+          StringF("wire: malformed xor-compact prefix 0x%02x", prefix));
+    }
+    uint64_t value = 0;
+    for (int i = 0; i < sig; ++i) {
+      uint8_t byte;
+      LQS_RETURN_IF_ERROR(GetByte(&byte));
+      if (i == 0 && byte == 0) {
+        return Status::InvalidArgument(
+            "wire: xor-compact trailing zeros not maximal");
+      }
+      if (i == sig - 1 && byte == 0) {
+        return Status::InvalidArgument(
+            "wire: xor-compact significant count not minimal");
+      }
+      value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    *out = value << (8 * tz);
     return Status::OK();
   }
 
@@ -218,7 +281,36 @@ constexpr uint8_t kProfileFlagMask =
 
 constexpr uint8_t kPollFlagHasSnapshot = 1u << 0;
 constexpr uint8_t kPollFlagQueryComplete = 1u << 1;
-constexpr uint8_t kPollFlagMask = kPollFlagHasSnapshot | kPollFlagQueryComplete;
+constexpr uint8_t kPollFlagHasDelta = 1u << 2;
+constexpr uint8_t kPollFlagMask =
+    kPollFlagHasSnapshot | kPollFlagQueryComplete | kPollFlagHasDelta;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint8_t PackProfileFlags(const OperatorProfile& op) {
+  uint8_t flags = 0;
+  if (op.opened) flags |= kProfileFlagOpened;
+  if (op.closed) flags |= kProfileFlagClosed;
+  if (op.finished) flags |= kProfileFlagFinished;
+  if (op.has_pushed_predicate) flags |= kProfileFlagPushedPredicate;
+  return flags;
+}
+
+Status UnpackProfileFlags(uint8_t flags, OperatorProfile* op) {
+  if ((flags & ~kProfileFlagMask) != 0) {
+    return Status::InvalidArgument(
+        StringF("wire: undefined operator flag bits 0x%02x", flags));
+  }
+  op->opened = (flags & kProfileFlagOpened) != 0;
+  op->closed = (flags & kProfileFlagClosed) != 0;
+  op->finished = (flags & kProfileFlagFinished) != 0;
+  op->has_pushed_predicate = (flags & kProfileFlagPushedPredicate) != 0;
+  return Status::OK();
+}
 
 void PutOperatorProfile(WireWriter* w, const OperatorProfile& op) {
   w->PutZigzag(op.node_id);
@@ -236,12 +328,7 @@ void PutOperatorProfile(WireWriter* w, const OperatorProfile& op) {
   w->PutDouble(op.last_active_ms);
   w->PutDouble(op.first_row_ms);
   w->PutDouble(op.close_time_ms);
-  uint8_t flags = 0;
-  if (op.opened) flags |= kProfileFlagOpened;
-  if (op.closed) flags |= kProfileFlagClosed;
-  if (op.finished) flags |= kProfileFlagFinished;
-  if (op.has_pushed_predicate) flags |= kProfileFlagPushedPredicate;
-  w->PutByte(flags);
+  w->PutByte(PackProfileFlags(op));
   w->PutVarint(op.total_pages);
 }
 
@@ -273,14 +360,7 @@ Status GetOperatorProfile(WireReader* r, OperatorProfile* op) {
   LQS_RETURN_IF_ERROR(r->GetDouble(&op->close_time_ms));
   uint8_t flags;
   LQS_RETURN_IF_ERROR(r->GetByte(&flags));
-  if ((flags & ~kProfileFlagMask) != 0) {
-    return Status::InvalidArgument(
-        StringF("wire: undefined operator flag bits 0x%02x", flags));
-  }
-  op->opened = (flags & kProfileFlagOpened) != 0;
-  op->closed = (flags & kProfileFlagClosed) != 0;
-  op->finished = (flags & kProfileFlagFinished) != 0;
-  op->has_pushed_predicate = (flags & kProfileFlagPushedPredicate) != 0;
+  LQS_RETURN_IF_ERROR(UnpackProfileFlags(flags, op));
   LQS_RETURN_IF_ERROR(r->GetVarint(&op->total_pages));
   return Status::OK();
 }
@@ -312,6 +392,155 @@ Status GetSnapshotBody(WireReader* r, ProfileSnapshot* snapshot) {
     OperatorProfile op;
     LQS_RETURN_IF_ERROR(GetOperatorProfile(r, &op));
     snapshot->operators.push_back(std::move(op));
+  }
+  return Status::OK();
+}
+
+// Delta bodies. Changed operators are keyed by index with gap encoding
+// (first op writes its index, each later op writes the distance to its
+// predecessor minus one), which both compresses dense change sets and makes
+// "strictly ascending" a structural property of the encoding rather than a
+// check. Field payloads appear in DeltaField bit order: counters as zigzag
+// varints of (target - base), doubles as xor-compact bit patterns, flags as
+// one packed byte.
+
+void PutOperatorDelta(WireWriter* w, const OperatorDelta& op, uint64_t gap) {
+  w->PutVarint(gap);
+  w->PutVarint(op.changed);
+  if (op.changed & kDeltaRowCount) w->PutZigzag(op.row_count_delta);
+  if (op.changed & kDeltaRebindCount) w->PutZigzag(op.rebind_count_delta);
+  if (op.changed & kDeltaLogicalReadCount) {
+    w->PutZigzag(op.logical_read_count_delta);
+  }
+  if (op.changed & kDeltaSegmentReadCount) {
+    w->PutZigzag(op.segment_read_count_delta);
+  }
+  if (op.changed & kDeltaSegmentTotalCount) {
+    w->PutZigzag(op.segment_total_count_delta);
+  }
+  if (op.changed & kDeltaTotalPages) w->PutZigzag(op.total_pages_delta);
+  if (op.changed & kDeltaEstimateRowCount) {
+    w->PutXorCompact(op.estimate_row_count_xor);
+  }
+  if (op.changed & kDeltaOpenTime) w->PutXorCompact(op.open_time_xor);
+  if (op.changed & kDeltaCpuTime) w->PutXorCompact(op.cpu_time_xor);
+  if (op.changed & kDeltaIoTime) w->PutXorCompact(op.io_time_xor);
+  if (op.changed & kDeltaLastActive) w->PutXorCompact(op.last_active_xor);
+  if (op.changed & kDeltaFirstRow) w->PutXorCompact(op.first_row_xor);
+  if (op.changed & kDeltaCloseTime) w->PutXorCompact(op.close_time_xor);
+  if (op.changed & kDeltaFlags) w->PutByte(op.flags);
+}
+
+Status GetOperatorDelta(WireReader* r, OperatorDelta* op) {
+  uint64_t changed;
+  LQS_RETURN_IF_ERROR(r->GetVarint(&changed));
+  if (changed == 0 || (changed & ~static_cast<uint64_t>(kDeltaFieldMask))) {
+    return Status::InvalidArgument(
+        StringF("wire: bad delta field bitmap 0x%llx",
+                static_cast<unsigned long long>(changed)));
+  }
+  op->changed = static_cast<uint32_t>(changed);
+  if (op->changed & kDeltaRowCount) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->row_count_delta));
+  }
+  if (op->changed & kDeltaRebindCount) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->rebind_count_delta));
+  }
+  if (op->changed & kDeltaLogicalReadCount) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->logical_read_count_delta));
+  }
+  if (op->changed & kDeltaSegmentReadCount) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->segment_read_count_delta));
+  }
+  if (op->changed & kDeltaSegmentTotalCount) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->segment_total_count_delta));
+  }
+  if (op->changed & kDeltaTotalPages) {
+    LQS_RETURN_IF_ERROR(r->GetZigzag(&op->total_pages_delta));
+  }
+  if (op->changed & kDeltaEstimateRowCount) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->estimate_row_count_xor));
+  }
+  if (op->changed & kDeltaOpenTime) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->open_time_xor));
+  }
+  if (op->changed & kDeltaCpuTime) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->cpu_time_xor));
+  }
+  if (op->changed & kDeltaIoTime) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->io_time_xor));
+  }
+  if (op->changed & kDeltaLastActive) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->last_active_xor));
+  }
+  if (op->changed & kDeltaFirstRow) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->first_row_xor));
+  }
+  if (op->changed & kDeltaCloseTime) {
+    LQS_RETURN_IF_ERROR(r->GetXorCompact(&op->close_time_xor));
+  }
+  if (op->changed & kDeltaFlags) {
+    LQS_RETURN_IF_ERROR(r->GetByte(&op->flags));
+    if ((op->flags & ~kProfileFlagMask) != 0) {
+      return Status::InvalidArgument(
+          StringF("wire: undefined operator flag bits 0x%02x", op->flags));
+    }
+  }
+  return Status::OK();
+}
+
+void PutDeltaBody(WireWriter* w, const SnapshotDelta& delta) {
+  w->PutDouble(delta.base_time_ms);
+  w->PutDouble(delta.time_ms);
+  w->PutVarint(delta.operator_count);
+  w->PutVarint(delta.ops.size());
+  uint64_t prev_index = 0;
+  for (size_t i = 0; i < delta.ops.size(); ++i) {
+    const OperatorDelta& op = delta.ops[i];
+    const uint64_t gap = i == 0 ? op.index : op.index - prev_index - 1;
+    PutOperatorDelta(w, op, gap);
+    prev_index = op.index;
+  }
+}
+
+Status GetDeltaBody(WireReader* r, SnapshotDelta* delta) {
+  LQS_RETURN_IF_ERROR(r->GetDouble(&delta->base_time_ms));
+  LQS_RETURN_IF_ERROR(r->GetDouble(&delta->time_ms));
+  LQS_RETURN_IF_ERROR(r->GetVarint(&delta->operator_count));
+  // Unlike snapshot bodies, operator_count describes the (absent) base, so
+  // it cannot be bounded by remaining payload; cap it so indices stay
+  // faithful in OperatorDelta::index.
+  if (delta->operator_count > 0xFFFFFFFFull) {
+    return Status::OutOfRange(
+        StringF("wire: delta declares %llu base operators",
+                static_cast<unsigned long long>(delta->operator_count)));
+  }
+  uint64_t count;
+  LQS_RETURN_IF_ERROR(r->GetVarint(&count));
+  if (count > r->remaining()) {
+    return Status::OutOfRange(
+        StringF("wire: delta declares %llu changed operators, %zu bytes left",
+                static_cast<unsigned long long>(count), r->remaining()));
+  }
+  delta->ops.clear();
+  delta->ops.reserve(count);
+  uint64_t next_index = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap;
+    LQS_RETURN_IF_ERROR(r->GetVarint(&gap));
+    // next_index <= operator_count here, so the subtraction cannot wrap and
+    // the comparison rejects any gap that would overflow next_index + gap.
+    if (gap >= delta->operator_count - next_index) {
+      return Status::InvalidArgument(
+          StringF("wire: delta operator gap %llu out of range (%llu ops)",
+                  static_cast<unsigned long long>(gap),
+                  static_cast<unsigned long long>(delta->operator_count)));
+    }
+    OperatorDelta op;
+    op.index = static_cast<uint32_t>(next_index + gap);
+    LQS_RETURN_IF_ERROR(GetOperatorDelta(r, &op));
+    delta->ops.push_back(op);
+    next_index = static_cast<uint64_t>(op.index) + 1;
   }
   return Status::OK();
 }
@@ -409,9 +638,198 @@ void EncodePollResponse(const PollResponse& response, std::string* out) {
   uint8_t flags = 0;
   if (response.has_snapshot) flags |= kPollFlagHasSnapshot;
   if (response.query_complete) flags |= kPollFlagQueryComplete;
+  if (response.has_delta) flags |= kPollFlagHasDelta;
   w.PutByte(flags);
   if (response.has_snapshot) PutSnapshotBody(&w, response.snapshot);
+  if (response.has_delta) PutDeltaBody(&w, response.delta);
   FinishFrame(out, header_at, WireType::kPollResponse);
+}
+
+void EncodeSnapshotDelta(const SnapshotDelta& delta, std::string* out) {
+  const size_t header_at = StartFrame(out);
+  WireWriter w(out);
+  PutDeltaBody(&w, delta);
+  FinishFrame(out, header_at, WireType::kSnapshotDelta);
+}
+
+StatusOr<SnapshotDelta> MakeSnapshotDelta(const ProfileSnapshot& base,
+                                          const ProfileSnapshot& target) {
+  if (base.operators.size() != target.operators.size()) {
+    return Status::InvalidArgument(
+        StringF("wire: delta base has %zu operators, target %zu",
+                base.operators.size(), target.operators.size()));
+  }
+  SnapshotDelta delta;
+  delta.base_time_ms = base.time_ms;
+  delta.time_ms = target.time_ms;
+  delta.operator_count = base.operators.size();
+  for (size_t i = 0; i < base.operators.size(); ++i) {
+    const OperatorProfile& b = base.operators[i];
+    const OperatorProfile& t = target.operators[i];
+    if (b.node_id != t.node_id || b.parent_node_id != t.parent_node_id ||
+        b.op_type != t.op_type) {
+      return Status::InvalidArgument(
+          StringF("wire: delta operator %zu identity mismatch "
+                  "(plans never change shape mid-query)",
+                  i));
+    }
+    OperatorDelta op;
+    op.index = static_cast<uint32_t>(i);
+    if (t.row_count != b.row_count) {
+      op.changed |= kDeltaRowCount;
+      op.row_count_delta = static_cast<int64_t>(t.row_count - b.row_count);
+    }
+    if (t.rebind_count != b.rebind_count) {
+      op.changed |= kDeltaRebindCount;
+      op.rebind_count_delta =
+          static_cast<int64_t>(t.rebind_count - b.rebind_count);
+    }
+    if (t.logical_read_count != b.logical_read_count) {
+      op.changed |= kDeltaLogicalReadCount;
+      op.logical_read_count_delta =
+          static_cast<int64_t>(t.logical_read_count - b.logical_read_count);
+    }
+    if (t.segment_read_count != b.segment_read_count) {
+      op.changed |= kDeltaSegmentReadCount;
+      op.segment_read_count_delta =
+          static_cast<int64_t>(t.segment_read_count - b.segment_read_count);
+    }
+    if (t.segment_total_count != b.segment_total_count) {
+      op.changed |= kDeltaSegmentTotalCount;
+      op.segment_total_count_delta =
+          static_cast<int64_t>(t.segment_total_count - b.segment_total_count);
+    }
+    if (t.total_pages != b.total_pages) {
+      op.changed |= kDeltaTotalPages;
+      op.total_pages_delta =
+          static_cast<int64_t>(t.total_pages - b.total_pages);
+    }
+    if (DoubleBits(t.estimate_row_count) != DoubleBits(b.estimate_row_count)) {
+      op.changed |= kDeltaEstimateRowCount;
+      op.estimate_row_count_xor =
+          DoubleBits(t.estimate_row_count) ^ DoubleBits(b.estimate_row_count);
+    }
+    if (DoubleBits(t.open_time_ms) != DoubleBits(b.open_time_ms)) {
+      op.changed |= kDeltaOpenTime;
+      op.open_time_xor = DoubleBits(t.open_time_ms) ^ DoubleBits(b.open_time_ms);
+    }
+    if (DoubleBits(t.cpu_time_ms) != DoubleBits(b.cpu_time_ms)) {
+      op.changed |= kDeltaCpuTime;
+      op.cpu_time_xor = DoubleBits(t.cpu_time_ms) ^ DoubleBits(b.cpu_time_ms);
+    }
+    if (DoubleBits(t.io_time_ms) != DoubleBits(b.io_time_ms)) {
+      op.changed |= kDeltaIoTime;
+      op.io_time_xor = DoubleBits(t.io_time_ms) ^ DoubleBits(b.io_time_ms);
+    }
+    if (DoubleBits(t.last_active_ms) != DoubleBits(b.last_active_ms)) {
+      op.changed |= kDeltaLastActive;
+      op.last_active_xor =
+          DoubleBits(t.last_active_ms) ^ DoubleBits(b.last_active_ms);
+    }
+    if (DoubleBits(t.first_row_ms) != DoubleBits(b.first_row_ms)) {
+      op.changed |= kDeltaFirstRow;
+      op.first_row_xor =
+          DoubleBits(t.first_row_ms) ^ DoubleBits(b.first_row_ms);
+    }
+    if (DoubleBits(t.close_time_ms) != DoubleBits(b.close_time_ms)) {
+      op.changed |= kDeltaCloseTime;
+      op.close_time_xor =
+          DoubleBits(t.close_time_ms) ^ DoubleBits(b.close_time_ms);
+    }
+    if (PackProfileFlags(t) != PackProfileFlags(b)) {
+      op.changed |= kDeltaFlags;
+      op.flags = PackProfileFlags(t);
+    }
+    if (op.changed != 0) delta.ops.push_back(op);
+  }
+  return delta;
+}
+
+Status ApplySnapshotDelta(const SnapshotDelta& delta,
+                          const ProfileSnapshot& base, ProfileSnapshot* out) {
+  if (DoubleBits(delta.base_time_ms) != DoubleBits(base.time_ms)) {
+    // The caller's resync path: it holds a different base than the one the
+    // delta was computed against (e.g. the ack raced a keyframe).
+    return Status::NotFound(
+        "wire: delta base snapshot mismatch, keyframe required");
+  }
+  if (delta.operator_count != base.operators.size()) {
+    return Status::InvalidArgument(
+        StringF("wire: delta expects %llu operators, base has %zu",
+                static_cast<unsigned long long>(delta.operator_count),
+                base.operators.size()));
+  }
+  *out = base;
+  out->time_ms = delta.time_ms;
+  uint64_t next_index = 0;
+  for (const OperatorDelta& op : delta.ops) {
+    if (op.index < next_index || op.index >= base.operators.size()) {
+      return Status::InvalidArgument(
+          StringF("wire: delta operator index %u out of order or range",
+                  op.index));
+    }
+    next_index = static_cast<uint64_t>(op.index) + 1;
+    if ((op.changed & ~kDeltaFieldMask) != 0) {
+      return Status::InvalidArgument(
+          StringF("wire: bad delta field bitmap 0x%x", op.changed));
+    }
+    OperatorProfile& target = out->operators[op.index];
+    // Counters add the signed difference with wrapping unsigned arithmetic,
+    // the exact inverse of MakeSnapshotDelta's subtraction; doubles XOR the
+    // transmitted bit pattern back in. Both reconstruct the target field
+    // bit-for-bit.
+    auto apply_counter = [](uint64_t* field, int64_t d) {
+      *field += static_cast<uint64_t>(d);
+    };
+    auto apply_bits = [](double* field, uint64_t x) {
+      uint64_t bits = DoubleBits(*field) ^ x;
+      std::memcpy(field, &bits, sizeof(*field));
+    };
+    if (op.changed & kDeltaRowCount) {
+      apply_counter(&target.row_count, op.row_count_delta);
+    }
+    if (op.changed & kDeltaRebindCount) {
+      apply_counter(&target.rebind_count, op.rebind_count_delta);
+    }
+    if (op.changed & kDeltaLogicalReadCount) {
+      apply_counter(&target.logical_read_count, op.logical_read_count_delta);
+    }
+    if (op.changed & kDeltaSegmentReadCount) {
+      apply_counter(&target.segment_read_count, op.segment_read_count_delta);
+    }
+    if (op.changed & kDeltaSegmentTotalCount) {
+      apply_counter(&target.segment_total_count,
+                    op.segment_total_count_delta);
+    }
+    if (op.changed & kDeltaTotalPages) {
+      apply_counter(&target.total_pages, op.total_pages_delta);
+    }
+    if (op.changed & kDeltaEstimateRowCount) {
+      apply_bits(&target.estimate_row_count, op.estimate_row_count_xor);
+    }
+    if (op.changed & kDeltaOpenTime) {
+      apply_bits(&target.open_time_ms, op.open_time_xor);
+    }
+    if (op.changed & kDeltaCpuTime) {
+      apply_bits(&target.cpu_time_ms, op.cpu_time_xor);
+    }
+    if (op.changed & kDeltaIoTime) {
+      apply_bits(&target.io_time_ms, op.io_time_xor);
+    }
+    if (op.changed & kDeltaLastActive) {
+      apply_bits(&target.last_active_ms, op.last_active_xor);
+    }
+    if (op.changed & kDeltaFirstRow) {
+      apply_bits(&target.first_row_ms, op.first_row_xor);
+    }
+    if (op.changed & kDeltaCloseTime) {
+      apply_bits(&target.close_time_ms, op.close_time_xor);
+    }
+    if (op.changed & kDeltaFlags) {
+      LQS_RETURN_IF_ERROR(UnpackProfileFlags(op.flags, &target));
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<size_t> WireFrameSize(std::string_view buffer) {
@@ -441,7 +859,7 @@ StatusOr<WireType> WireFrameType(std::string_view frame) {
   LQS_RETURN_IF_ERROR(WireFrameSize(frame).status());
   const uint8_t type = static_cast<uint8_t>(frame[3]);
   if (type < static_cast<uint8_t>(WireType::kPlanSummary) ||
-      type > static_cast<uint8_t>(WireType::kPollResponse)) {
+      type > static_cast<uint8_t>(WireType::kSnapshotDelta)) {
     return Status::InvalidArgument(
         StringF("wire: unknown message type %u", type));
   }
@@ -535,11 +953,29 @@ StatusOr<PollResponse> DecodePollResponse(std::string_view frame) {
   }
   response.has_snapshot = (flags & kPollFlagHasSnapshot) != 0;
   response.query_complete = (flags & kPollFlagQueryComplete) != 0;
+  response.has_delta = (flags & kPollFlagHasDelta) != 0;
+  if (response.has_snapshot && response.has_delta) {
+    return Status::InvalidArgument(
+        "wire: poll response carries both a snapshot and a delta");
+  }
   if (response.has_snapshot) {
     LQS_RETURN_IF_ERROR(GetSnapshotBody(&r, &response.snapshot));
   }
+  if (response.has_delta) {
+    LQS_RETURN_IF_ERROR(GetDeltaBody(&r, &response.delta));
+  }
   LQS_RETURN_IF_ERROR(RequireExhausted(r));
   return response;
+}
+
+StatusOr<SnapshotDelta> DecodeSnapshotDelta(std::string_view frame) {
+  std::string_view payload;
+  LQS_ASSIGN_OR_RETURN(payload, CheckFrame(frame, WireType::kSnapshotDelta));
+  WireReader r(payload);
+  SnapshotDelta delta;
+  LQS_RETURN_IF_ERROR(GetDeltaBody(&r, &delta));
+  LQS_RETURN_IF_ERROR(RequireExhausted(r));
+  return delta;
 }
 
 }  // namespace lqs

@@ -50,6 +50,7 @@ enum class WireType : uint8_t {
   kSnapshot = 2,
   kTrace = 3,
   kPollResponse = 4,
+  kSnapshotDelta = 5,
 };
 
 /// CRC32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) of `size` bytes.
@@ -76,15 +77,99 @@ struct PlanSummary {
   static PlanSummary FromPlan(const Plan& plan);
 };
 
+/// Per-field presence bits of one OperatorDelta. A set bit means the frame
+/// carries that field; clear means "unchanged from the base operator".
+/// Counters travel as zigzag varints of (target - base), which is exact in
+/// integers; doubles travel as the XOR of the two IEEE-754 bit patterns in
+/// the compact trailing-zero encoding (see EncodeSnapshotDelta), which is
+/// exact by construction — reassembly is byte-identical to the full
+/// snapshot, NaNs and signed zeros included.
+enum DeltaField : uint32_t {
+  kDeltaRowCount = 1u << 0,
+  kDeltaRebindCount = 1u << 1,
+  kDeltaLogicalReadCount = 1u << 2,
+  kDeltaSegmentReadCount = 1u << 3,
+  kDeltaSegmentTotalCount = 1u << 4,
+  kDeltaTotalPages = 1u << 5,
+  kDeltaEstimateRowCount = 1u << 6,
+  kDeltaOpenTime = 1u << 7,
+  kDeltaCpuTime = 1u << 8,
+  kDeltaIoTime = 1u << 9,
+  kDeltaLastActive = 1u << 10,
+  kDeltaFirstRow = 1u << 11,
+  kDeltaCloseTime = 1u << 12,
+  kDeltaFlags = 1u << 13,
+};
+inline constexpr uint32_t kDeltaFieldMask = (1u << 14) - 1;
+
+/// Changes of one operator relative to the base snapshot's operator at the
+/// same index. Counter fields hold signed differences (target - base);
+/// double fields hold the XOR of the two bit patterns; `flags` holds the
+/// target's packed flag byte. Only fields whose `changed` bit is set are
+/// meaningful.
+struct OperatorDelta {
+  uint32_t index = 0;
+  uint32_t changed = 0;  ///< DeltaField bitmap
+  int64_t row_count_delta = 0;
+  int64_t rebind_count_delta = 0;
+  int64_t logical_read_count_delta = 0;
+  int64_t segment_read_count_delta = 0;
+  int64_t segment_total_count_delta = 0;
+  int64_t total_pages_delta = 0;
+  uint64_t estimate_row_count_xor = 0;
+  uint64_t open_time_xor = 0;
+  uint64_t cpu_time_xor = 0;
+  uint64_t io_time_xor = 0;
+  uint64_t last_active_xor = 0;
+  uint64_t first_row_xor = 0;
+  uint64_t close_time_xor = 0;
+  uint8_t flags = 0;
+};
+
+/// One snapshot expressed as changes against an *acknowledged* base
+/// snapshot, identified by the base's bit-exact time_ms. Operators absent
+/// from `ops` are unchanged. Appendix to the §2 polling model: the server
+/// only deltas against a snapshot the client told it (via PollRequest ack)
+/// that it holds, so a lost delta never desynchronizes state — the client
+/// simply keeps acknowledging the old base.
+struct SnapshotDelta {
+  double base_time_ms = 0;  ///< bit-exact identity of the base snapshot
+  double time_ms = 0;       ///< the reconstructed snapshot's time
+  uint64_t operator_count = 0;
+  std::vector<OperatorDelta> ops;  ///< ascending by index
+};
+
+/// Computes the delta that turns `base` into `target`. Fails with
+/// kInvalidArgument when the pair is not delta-encodable: operator count,
+/// node ids, parent ids or operator types differ (plans never change shape
+/// mid-query, so a mismatch means the two snapshots are not from the same
+/// execution — send a keyframe instead).
+StatusOr<SnapshotDelta> MakeSnapshotDelta(const ProfileSnapshot& base,
+                                          const ProfileSnapshot& target);
+
+/// Reconstructs the target snapshot from `base` + `delta`. Fails with
+/// kNotFound when `base` is not the snapshot the delta was computed against
+/// (bit-exact time_ms mismatch — the caller's resync/keyframe path), and
+/// kInvalidArgument on structural mismatch (operator count, out-of-range
+/// index). On success `*out` is byte-identical (under EncodeSnapshot) to
+/// the original target.
+Status ApplySnapshotDelta(const SnapshotDelta& delta,
+                          const ProfileSnapshot& base, ProfileSnapshot* out);
+
 /// One poll answer from a SnapshotEndpoint: the freshest snapshot the server
-/// holds, or "nothing yet" for a query that has not produced one.
-/// `query_complete` marks the snapshot as the final one — counters are
-/// final, the query is done.
+/// holds — as a full snapshot or as a delta against the client's
+/// acknowledged base — or "nothing yet" for a query that has not produced
+/// one. `query_complete` marks the snapshot as the final one — counters are
+/// final, the query is done (completion responses are always full
+/// snapshots, never deltas).
 struct PollResponse {
   uint64_t request_id = 0;
   bool has_snapshot = false;
   bool query_complete = false;
   ProfileSnapshot snapshot;  ///< meaningful only when has_snapshot
+  /// Delta arm: exactly one of has_snapshot / has_delta may be set.
+  bool has_delta = false;
+  SnapshotDelta delta;  ///< meaningful only when has_delta
 };
 
 /// Encoders append exactly one complete frame to `*out` (existing content is
@@ -93,6 +178,7 @@ void EncodeSnapshot(const ProfileSnapshot& snapshot, std::string* out);
 void EncodeTrace(const ProfileTrace& trace, std::string* out);
 void EncodePlanSummary(const PlanSummary& summary, std::string* out);
 void EncodePollResponse(const PollResponse& response, std::string* out);
+void EncodeSnapshotDelta(const SnapshotDelta& delta, std::string* out);
 
 /// Total size (header + payload) of the frame starting at `buffer[0]`, for
 /// splitting a stream of concatenated frames. Validates magic, version and
@@ -108,6 +194,7 @@ StatusOr<ProfileSnapshot> DecodeSnapshot(std::string_view frame);
 StatusOr<ProfileTrace> DecodeTrace(std::string_view frame);
 StatusOr<PlanSummary> DecodePlanSummary(std::string_view frame);
 StatusOr<PollResponse> DecodePollResponse(std::string_view frame);
+StatusOr<SnapshotDelta> DecodeSnapshotDelta(std::string_view frame);
 
 }  // namespace lqs
 

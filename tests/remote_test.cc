@@ -5,6 +5,10 @@
 //    regressions so accepted snapshot timestamps are strictly increasing,
 //    degrades (recoverably) after a consecutive-failure budget, and serves
 //    held or interpolated data on stale ticks;
+//  - the served view is clamped so counters never visibly regress, and
+//    interpolation advances activity timestamps with the snapshot clock;
+//  - snapshot deltas reassemble byte-exactly against the acked base, with
+//    keyframe resync on any gap, and save most of the wire bytes;
 //  - FaultInjectingEndpoint's drops/delays/duplicates/corruption never
 //    wedge a session or break monotonicity;
 //  - the ISSUE acceptance run: 64 monitored sessions over a lossy link
@@ -69,6 +73,16 @@ ProfileSnapshot TinySnapshot(double time_ms, uint64_t rows) {
   snap.operators[0].node_id = 0;
   snap.operators[0].row_count = rows;
   snap.operators[0].cpu_time_ms = time_ms;
+  return snap;
+}
+
+// Like TinySnapshot, but the operator is visibly executing: opened, with
+// activity-clock fields set the way the executor stamps them.
+ProfileSnapshot ActiveSnapshot(double time_ms, uint64_t rows) {
+  ProfileSnapshot snap = TinySnapshot(time_ms, rows);
+  snap.operators[0].opened = true;
+  snap.operators[0].open_time_ms = 1.0;
+  snap.operators[0].last_active_ms = time_ms;
   return snap;
 }
 
@@ -354,6 +368,269 @@ TEST(PollingClientTest, InterpolatePolicyExtrapolatesCappedAtOneGap) {
   ASSERT_NE(capped.snapshot, nullptr);
   EXPECT_DOUBLE_EQ(capped.snapshot->time_ms, 30.0);
   EXPECT_EQ(capped.snapshot->operators[0].row_count, 300u);
+}
+
+// Regression test for the served-view clamp (§5 monotonicity). Under
+// kInterpolate the client extrapolates past the last accepted snapshot; a
+// late real snapshot that lands *below* the extrapolation is still accepted
+// (it is genuinely newer data), but the SERVED view must not visibly run
+// counters backwards. Pre-fix, the view dropped from the 300-row
+// extrapolation to the 210-row reality — a dashboard watching this session
+// saw progress regress.
+TEST(PollingClientTest, ServedViewNeverRegressesAfterInterpolationOvershoot) {
+  auto scripted = std::make_unique<ScriptedEndpoint>();
+  ScriptedEndpoint* endpoint = scripted.get();
+  endpoint->script.push_back(Respond(TinySnapshot(10, 100)));
+  endpoint->script.push_back(Respond(TinySnapshot(20, 200)));
+  endpoint->script.push_back(TimeOut());
+  endpoint->script.push_back(Respond(TinySnapshot(25, 210)));  // late reality
+
+  PollingClientOptions options;
+  options.max_attempts = 1;
+  options.staleness_policy = StalenessPolicy::kInterpolate;
+  PollingClient client(std::move(scripted), options);
+
+  client.Poll(11);
+  client.Poll(21);
+  // Outage tick: extrapolated one full gap ahead (the cap), 300 rows at 30.
+  const ClientView& outage = client.Poll(30);
+  ASSERT_NE(outage.snapshot, nullptr);
+  EXPECT_TRUE(outage.stale);
+  EXPECT_DOUBLE_EQ(outage.snapshot->time_ms, 30.0);
+  EXPECT_EQ(outage.snapshot->operators[0].row_count, 300u);
+
+  // The 25 ms / 210-row snapshot passes the accept filter (newer than 20,
+  // counters >= 200) — but the served view holds the 300-row floor instead
+  // of regressing.
+  const ClientView& caught = client.Poll(31);
+  ASSERT_NE(caught.snapshot, nullptr);
+  EXPECT_FALSE(caught.stale);
+  EXPECT_EQ(client.stats().accepted, 3u);
+  EXPECT_GE(caught.snapshot->time_ms, 30.0);
+  EXPECT_EQ(caught.snapshot->operators[0].row_count, 300u)
+      << "served counters ran backwards after the overshoot";
+  EXPECT_DOUBLE_EQ(caught.staleness_ms, 6.0)
+      << "staleness is measured against the accepted snapshot, not the floor";
+
+  // Once reality passes the floor, the view moves again.
+  endpoint->script.push_back(Respond(TinySnapshot(40, 400)));
+  const ClientView& moving = client.Poll(41);
+  ASSERT_NE(moving.snapshot, nullptr);
+  EXPECT_EQ(moving.snapshot->operators[0].row_count, 400u);
+  EXPECT_DOUBLE_EQ(moving.snapshot->time_ms, 40.0);
+}
+
+// The interpolated snapshot must look self-consistent to the estimator: an
+// operator whose counters were advanced is active *now*, so its activity
+// clock moves with the interpolation instead of freezing at the last real
+// snapshot (which would make the operator look idle for the whole outage).
+TEST(PollingClientTest, InterpolationAdvancesActivityTimestamps) {
+  auto scripted = std::make_unique<ScriptedEndpoint>();
+  scripted->script.push_back(Respond(ActiveSnapshot(10, 100)));
+  scripted->script.push_back(Respond(ActiveSnapshot(20, 200)));
+
+  PollingClientOptions options;
+  options.max_attempts = 1;
+  options.staleness_policy = StalenessPolicy::kInterpolate;
+  PollingClient client(std::move(scripted), options);
+  client.Poll(11);
+  client.Poll(21);
+
+  const ClientView& mid = client.Poll(25);  // script exhausted -> timeout
+  ASSERT_NE(mid.snapshot, nullptr);
+  EXPECT_TRUE(mid.stale);
+  EXPECT_DOUBLE_EQ(mid.snapshot->time_ms, 25.0);
+  EXPECT_EQ(mid.snapshot->operators[0].row_count, 250u);
+  EXPECT_DOUBLE_EQ(mid.snapshot->operators[0].last_active_ms, 25.0)
+      << "an advancing operator's activity clock must follow interpolation";
+
+  // Capped extrapolation keeps the invariant too: activity never leads the
+  // snapshot's own clock.
+  const ClientView& capped = client.Poll(60);
+  ASSERT_NE(capped.snapshot, nullptr);
+  for (const OperatorProfile& op : capped.snapshot->operators) {
+    EXPECT_LE(op.last_active_ms, capped.snapshot->time_ms);
+  }
+  EXPECT_DOUBLE_EQ(capped.snapshot->operators[0].last_active_ms, 30.0);
+}
+
+TEST(PollingClientTest, CountsRequestIdMismatchesButKeepsLateData) {
+  auto scripted = std::make_unique<ScriptedEndpoint>();
+  ScriptedEndpoint* endpoint = scripted.get();
+  // First response answers some other request id — a late or misrouted
+  // delivery. The payload is real data and still flows through the recency
+  // filter; the mismatch is counted, not fatal.
+  endpoint->script.push_back([](const PollRequest& request) {
+    PollResponse response;
+    response.request_id = request.request_id + 1000;
+    response.has_snapshot = true;
+    response.snapshot = TinySnapshot(10, 100);
+    PollResult result;
+    EncodePollResponse(response, &result.frame);
+    result.arrival_ms = request.now_ms;
+    return result;
+  });
+  endpoint->script.push_back(Respond(TinySnapshot(20, 200)));
+
+  PollingClientOptions options;
+  options.max_attempts = 1;
+  PollingClient client(std::move(scripted), options);
+
+  const ClientView& first = client.Poll(11);
+  ASSERT_NE(first.snapshot, nullptr);
+  EXPECT_DOUBLE_EQ(first.snapshot->time_ms, 10.0);
+  EXPECT_EQ(client.stats().request_id_mismatches, 1u);
+  EXPECT_EQ(client.stats().accepted, 1u);
+  EXPECT_EQ(client.stats().decode_errors, 0u)
+      << "a mismatched id is not a decode failure";
+
+  client.Poll(21);
+  EXPECT_EQ(client.stats().request_id_mismatches, 1u);
+  EXPECT_EQ(client.stats().accepted, 2u);
+}
+
+TEST(FaultInjectionTest, DelayedDeliveriesSurfaceAsRequestIdMismatches) {
+  ProfileTrace trace;
+  for (int i = 1; i <= 20; ++i) {
+    trace.snapshots.push_back(
+        TinySnapshot(i * 10.0, static_cast<uint64_t>(i) * 100));
+  }
+  trace.final_snapshot = TinySnapshot(210, 2100);
+  trace.total_elapsed_ms = 210;
+
+  FaultConfig faults;
+  faults.delay_probability = 0.5;
+  faults.max_delay_ms = 25.0;
+  faults.seed = 11;
+  auto lossy = std::make_unique<FaultInjectingEndpoint>(
+      std::make_unique<LoopbackEndpoint>(&trace), faults);
+  const FaultStats& fault_stats = lossy->fault_stats();
+
+  PollingClientOptions options;
+  options.timeout_ms = 5.0;
+  options.max_attempts = 2;
+  PollingClient client(std::move(lossy), options);
+  double t = 0;
+  for (int tick = 0; tick < 512 && !client.complete(); ++tick, t += 5.0) {
+    client.Poll(t);
+  }
+  EXPECT_TRUE(client.complete());
+  ASSERT_GT(fault_stats.late_delivered, 0u);
+  // A delayed frame answers a request that has long since been retired, so
+  // its request_id cannot match the one in flight.
+  EXPECT_GT(client.stats().request_id_mismatches, 0u);
+}
+
+// The delta transport is invisible to the consumer: a client fed deltas
+// (with periodic keyframes) serves byte-identical views to a client fed
+// full snapshots, while receiving a fraction of the bytes.
+TEST(PollingClientTest, DeltaTransportMatchesFullTransportAndSavesBytes) {
+  std::unique_ptr<Catalog> catalog = MakeTestCatalog();
+  Plan plan = MustFinalize(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1}),
+      *catalog);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog, OptimizerOptions{}));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  ExecutionResult result = MustExecute(plan, catalog.get(), exec);
+  ASSERT_GT(result.trace.snapshots.size(), 4u);
+
+  PollingClientOptions options;
+  options.max_attempts = 1;
+  PollingClient full_client(std::make_unique<LoopbackEndpoint>(&result.trace),
+                            options);
+  LoopbackOptions delta_serving;
+  delta_serving.serve_deltas = true;
+  delta_serving.keyframe_interval = 8;
+  PollingClient delta_client(
+      std::make_unique<LoopbackEndpoint>(&result.trace, delta_serving),
+      options);
+
+  double t = 0;
+  for (int tick = 0; tick < 4096; ++tick, t += 2.0) {
+    const ClientView& full_view = full_client.Poll(t);
+    const ClientView& delta_view = delta_client.Poll(t);
+    ASSERT_EQ(full_view.snapshot == nullptr, delta_view.snapshot == nullptr)
+        << "t=" << t;
+    if (full_view.snapshot != nullptr) {
+      std::string full_bytes, delta_bytes;
+      EncodeSnapshot(*full_view.snapshot, &full_bytes);
+      EncodeSnapshot(*delta_view.snapshot, &delta_bytes);
+      ASSERT_EQ(full_bytes, delta_bytes)
+          << "served views diverged at t=" << t;
+      EXPECT_EQ(full_view.query_complete, delta_view.query_complete);
+    }
+    if (full_client.complete() && delta_client.complete()) break;
+  }
+  ASSERT_TRUE(full_client.complete());
+  ASSERT_TRUE(delta_client.complete());
+
+  const ClientStats& full_stats = full_client.stats();
+  const ClientStats& delta_stats = delta_client.stats();
+  EXPECT_EQ(delta_stats.accepted, full_stats.accepted);
+  EXPECT_GT(delta_stats.deltas_applied, 0u);
+  EXPECT_EQ(delta_stats.delta_resyncs, 0u) << "lossless link never resyncs";
+  EXPECT_EQ(full_stats.deltas_applied, 0u);
+  EXPECT_GT(full_stats.bytes_received, 0u);
+  // The headline property (the bench quantifies the exact ratio at scale):
+  // the same accepted snapshots cost a fraction of the wire bytes.
+  EXPECT_LT(delta_stats.bytes_received * 2, full_stats.bytes_received)
+      << "delta=" << delta_stats.bytes_received
+      << " full=" << full_stats.bytes_received;
+}
+
+// Deltas over a lossy link: lost and delayed responses force base
+// mismatches; every one must resolve through the want_keyframe resync path
+// — never corrupt reassembled state, never wedge the session.
+TEST(FaultInjectionTest, DeltaTransportResyncsUnderLossAndStaysExact) {
+  std::unique_ptr<Catalog> catalog = MakeTestCatalog();
+  Plan plan = MustFinalize(HashAgg(Scan("t_big"), {2}, {Count()}), *catalog);
+  ASSERT_OK(AnnotatePlan(&plan, *catalog, OptimizerOptions{}));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  ExecutionResult result = MustExecute(plan, catalog.get(), exec);
+  ASSERT_GT(result.trace.snapshots.size(), 4u);
+
+  FaultConfig faults;
+  faults.drop_probability = 0.2;
+  faults.delay_probability = 0.3;
+  faults.max_delay_ms = 10.0;
+  faults.duplicate_probability = 0.1;
+  faults.seed = 17;
+  LoopbackOptions delta_serving;
+  delta_serving.serve_deltas = true;
+  delta_serving.keyframe_interval = 8;
+  auto lossy = std::make_unique<FaultInjectingEndpoint>(
+      std::make_unique<LoopbackEndpoint>(&result.trace, delta_serving),
+      faults);
+
+  PollingClientOptions options;
+  options.timeout_ms = 3.0;
+  options.max_attempts = 2;
+  options.backoff_initial_ms = 1.0;
+  PollingClient client(std::move(lossy), options);
+
+  double last_seen = -1;
+  double t = 0;
+  for (int tick = 0; tick < 4096 && !client.complete(); ++tick, t += 2.0) {
+    const ClientView& view = client.Poll(t);
+    if (view.snapshot != nullptr) {
+      EXPECT_GE(view.snapshot->time_ms, last_seen) << "t=" << t;
+      last_seen = view.snapshot->time_ms;
+    }
+  }
+  EXPECT_TRUE(client.complete()) << "delta session wedged under faults";
+  ASSERT_NE(client.final_snapshot(), nullptr);
+  // Byte-exact reassembly survived the fault mix: the final state equals
+  // the trace's final snapshot bit for bit.
+  std::string reassembled, truth;
+  EncodeSnapshot(*client.final_snapshot(), &reassembled);
+  EncodeSnapshot(result.trace.final_snapshot, &truth);
+  EXPECT_EQ(reassembled, truth);
+  EXPECT_GT(client.stats().deltas_applied, 0u);
+  EXPECT_GT(client.stats().delta_resyncs, 0u)
+      << "fault mix never forced a keyframe resync — weaken the faults or "
+         "reseed so the resync path is actually exercised";
 }
 
 // A lossy link over a genuinely executed trace: whatever the fault mix does,

@@ -1,0 +1,383 @@
+// Behavior of the fleet-scale monitor layer (src/monitor/sharded_monitor.h,
+// DESIGN.md §13):
+//  - SessionRouter is deterministic, balanced at thousand-session scale, and
+//    consistent: adding a shard moves only the keys the new shard captures;
+//  - MonitorAggregator sums event counters, maxes percentiles, and
+//    recomputes throughput from merged sums;
+//  - with backpressure off, a ShardedMonitor reaches exactly the same
+//    per-session conclusions as one MonitorService over the same sessions
+//    (the determinism contract extends across the shard seam);
+//  - with a deliberately impossible tick budget, shards degrade (divisors
+//    climb, held views are served stale) but every session still completes
+//    and per-session progress stays monotone — degradation never wedges;
+//  - RunToCompletion's tick loop is indexed, not accumulated: a tick width
+//    that is inexact in binary must still land the final tick exactly on
+//    the horizon instead of drifting past it.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "monitor/monitor_aggregator.h"
+#include "monitor/monitor_service.h"
+#include "monitor/session_router.h"
+#include "monitor/sharded_monitor.h"
+#include "optimizer/annotate.h"
+#include "remote/endpoint.h"
+#include "tests/test_util.h"
+#include "workload/plan_builder.h"
+
+namespace lqs {
+namespace testing {
+namespace {
+
+using namespace pb;  // NOLINT
+
+std::string Key(int i) { return "session-" + std::to_string(i); }
+
+TEST(SessionRouterTest, DeterministicAcrossInstances) {
+  SessionRouter a(8, 64);
+  SessionRouter b(8, 64);
+  for (int i = 0; i < 1000; ++i) {
+    const int shard = a.ShardFor(Key(i));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 8);
+    EXPECT_EQ(shard, b.ShardFor(Key(i))) << Key(i);
+  }
+}
+
+TEST(SessionRouterTest, BalancesThousandsOfSessions) {
+  constexpr int kShards = 8;
+  constexpr int kKeys = 8192;
+  SessionRouter router(kShards, 64);
+  std::vector<int> counts(kShards, 0);
+  for (int i = 0; i < kKeys; ++i) ++counts[router.ShardFor(Key(i))];
+  const double mean = static_cast<double>(kKeys) / kShards;
+  for (int shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(counts[shard], 0) << "shard " << shard << " owns nothing";
+    // 64 virtual nodes keep the ring smooth enough that no shard strays
+    // past 2x/0.5x of the mean — the property that makes per-shard tick
+    // budgets meaningful (one shard must not silently carry half the fleet).
+    EXPECT_LT(counts[shard], 2.0 * mean) << "shard " << shard;
+    EXPECT_GT(counts[shard], 0.5 * mean) << "shard " << shard;
+  }
+}
+
+TEST(SessionRouterTest, AddingAShardOnlyMovesKeysToTheNewShard) {
+  constexpr int kKeys = 8192;
+  SessionRouter before(8, 64);
+  SessionRouter after(9, 64);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const int old_shard = before.ShardFor(Key(i));
+    const int new_shard = after.ShardFor(Key(i));
+    if (new_shard != old_shard) {
+      ++moved;
+      // Consistent hashing: shards 0..7 contribute identical ring points in
+      // both routers, so a key can only change home by being captured by
+      // shard 8's new points — never by shuffling between old shards.
+      EXPECT_EQ(new_shard, 8) << Key(i) << " moved " << old_shard << " -> "
+                              << new_shard;
+    }
+  }
+  // Roughly 1/9 of keys should move; well under the ~8/9 a hash%N reshard
+  // would move, and more than zero (the new shard really takes load).
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys / 4);
+}
+
+TEST(MonitorAggregatorTest, SumsCountersMaxesPercentiles) {
+  MonitorStats a;
+  a.sessions = 3;
+  a.done = 3;
+  a.ticks = 10;
+  a.reports_computed = 30;
+  a.p95_estimate_latency_ms = 0.5;
+  a.p95_tick_latency_ms = 2.0;
+  a.estimate_wall_ms = 6.0;
+  a.wall_ms = 100.0;
+  a.transport_bytes = 1000;
+  a.deltas_applied = 7;
+  MonitorStats b;
+  b.sessions = 5;
+  b.done = 5;
+  b.ticks = 12;
+  b.reports_computed = 60;
+  b.p95_estimate_latency_ms = 0.25;
+  b.p95_tick_latency_ms = 4.0;
+  b.estimate_wall_ms = 3.0;
+  b.wall_ms = 100.0;
+  b.transport_bytes = 250;
+  b.delta_resyncs = 2;
+
+  MonitorStats merged = MonitorAggregator::Merge({a, b});
+  EXPECT_EQ(merged.sessions, 8u);
+  EXPECT_EQ(merged.done, 8u);
+  // The fleet has ticked as often as its most-ticked shard.
+  EXPECT_EQ(merged.ticks, 12u);
+  EXPECT_EQ(merged.reports_computed, 90u);
+  // Percentiles merge as the conservative bound, not an average.
+  EXPECT_DOUBLE_EQ(merged.p95_estimate_latency_ms, 0.5);
+  EXPECT_DOUBLE_EQ(merged.p95_tick_latency_ms, 4.0);
+  EXPECT_EQ(merged.transport_bytes, 1250u);
+  EXPECT_EQ(merged.deltas_applied, 7u);
+  EXPECT_EQ(merged.delta_resyncs, 2u);
+  // Throughput recomputes from merged sums: 90 reports / 200 ms wall.
+  EXPECT_DOUBLE_EQ(merged.wall_ms, 200.0);
+  EXPECT_DOUBLE_EQ(merged.reports_per_sec, 90.0 / 0.2);
+  // Estimator-only throughput likewise: 90 reports / 9 ms estimating.
+  EXPECT_DOUBLE_EQ(merged.estimates_per_sec, 90.0 / 0.009);
+}
+
+class ShardedMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = MakeTestCatalog(); }
+
+  Plan Annotated(std::unique_ptr<PlanNode> root) {
+    Plan plan = MustFinalize(std::move(root), *catalog_);
+    EXPECT_OK(AnnotatePlan(&plan, *catalog_, OptimizerOptions{}));
+    return plan;
+  }
+
+  ExecutionResult Traced(const Plan& plan, double interval_ms = 2.0) {
+    ExecOptions exec;
+    exec.snapshot_interval_ms = interval_ms;
+    return MustExecute(plan, catalog_.get(), exec);
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(ShardedMonitorTest, MatchesSingleMonitorConclusions) {
+  std::vector<Plan> plans;
+  plans.push_back(Annotated(
+      HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0}, {1})));
+  plans.push_back(Annotated(HashAgg(Scan("t_big"), {2}, {Count()})));
+  plans.push_back(Annotated(Sort(Scan("t_big"), {2})));
+  std::vector<ExecutionResult> traces;
+  for (const Plan& plan : plans) traces.push_back(Traced(plan));
+
+  constexpr int kSessions = 18;
+  MonitorOptions monitor_options;
+  monitor_options.ticks_per_horizon = 16;
+
+  auto register_all = [&](auto& monitor) {
+    for (int i = 0; i < kSessions; ++i) {
+      const int id = monitor.RegisterSession(
+          Key(i), &plans[static_cast<size_t>(i) % plans.size()],
+          catalog_.get(), &traces[static_cast<size_t>(i) % traces.size()].trace,
+          /*start_offset_ms=*/(i % 5) * 7.0);
+      EXPECT_EQ(id, i) << "global ids must be dense in registration order";
+    }
+  };
+  auto collect = [&](auto& monitor) {
+    std::vector<SessionStatus> last;
+    monitor.RunToCompletion(
+        [&](double, const std::vector<SessionStatus>& statuses) {
+          last = statuses;
+        });
+    return last;
+  };
+
+  MonitorService single(monitor_options);
+  register_all(single);
+
+  ShardedMonitorOptions sharded_options;
+  sharded_options.num_shards = 4;
+  sharded_options.shard_options = monitor_options;
+  ShardedMonitor sharded(sharded_options);
+  register_all(sharded);
+  EXPECT_EQ(sharded.num_shards(), 4);
+  EXPECT_EQ(sharded.session_count(), static_cast<size_t>(kSessions));
+  // The router spread the fleet: more than one shard is populated, and
+  // ShardOf agrees with the router for every registered name.
+  std::vector<int> per_shard(4, 0);
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(sharded.ShardOf(i), sharded.router().ShardFor(Key(i)));
+    ++per_shard[static_cast<size_t>(sharded.ShardOf(i))];
+  }
+  EXPECT_GT(std::count_if(per_shard.begin(), per_shard.end(),
+                          [](int n) { return n > 0; }),
+            1);
+
+  EXPECT_DOUBLE_EQ(sharded.HorizonMs(), single.HorizonMs());
+
+  std::vector<SessionStatus> single_last = collect(single);
+  std::vector<SessionStatus> sharded_last = collect(sharded);
+  ASSERT_EQ(single_last.size(), sharded_last.size());
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(sharded_last[static_cast<size_t>(i)].session_id, i);
+    EXPECT_EQ(sharded_last[static_cast<size_t>(i)].state,
+              SessionState::kDone);
+    // Same session, same timeline, same estimator: identical conclusion no
+    // matter which shard computed it.
+    EXPECT_DOUBLE_EQ(sharded_last[static_cast<size_t>(i)].progress,
+                     single_last[static_cast<size_t>(i)].progress)
+        << "session " << i;
+  }
+  EXPECT_TRUE(single.AllSessionsDone());
+  EXPECT_TRUE(sharded.AllSessionsDone());
+  EXPECT_TRUE(single.FinalCheck().ok());
+  EXPECT_TRUE(sharded.FinalCheck().ok());
+
+  // With backpressure off every shard ticks every time, so the fleet
+  // computed exactly as many reports as the single service.
+  MonitorStats single_stats = single.stats();
+  MonitorStats fleet = sharded.stats();
+  EXPECT_EQ(fleet.reports_computed, single_stats.reports_computed);
+  EXPECT_EQ(fleet.sessions, single_stats.sessions);
+  EXPECT_EQ(fleet.done, single_stats.done);
+  EXPECT_EQ(fleet.ticks, single_stats.ticks);
+}
+
+TEST_F(ShardedMonitorTest, BackpressureDegradesWithoutWedging) {
+  Plan plan = Annotated(HashAgg(Scan("t_big"), {2}, {Count()}));
+  ExecutionResult result = Traced(plan);
+
+  ShardedMonitorOptions options;
+  options.num_shards = 2;
+  options.shard_options.ticks_per_horizon = 32;
+  // A budget no real tick can meet: every computed tick overruns, so the
+  // divisors climb to the cap and most ticks serve held views.
+  options.shard_tick_budget_ms = 1e-7;
+  options.max_poll_divisor = 4;
+  ShardedMonitor monitor(options);
+  constexpr int kSessions = 8;
+  for (int i = 0; i < kSessions; ++i) {
+    monitor.RegisterSession(Key(i), &plan, catalog_.get(), &result.trace,
+                            /*start_offset_ms=*/i * 3.0);
+  }
+
+  uint64_t stale_statuses = 0;
+  int max_divisor_seen = 1;
+  std::vector<double> last_progress(kSessions, 0);
+  monitor.RunToCompletion(
+      [&](double now_ms, const std::vector<SessionStatus>& statuses) {
+        for (int shard = 0; shard < monitor.num_shards(); ++shard) {
+          max_divisor_seen =
+              std::max(max_divisor_seen, monitor.poll_divisor(shard));
+        }
+        for (const SessionStatus& status : statuses) {
+          if (status.stale) ++stale_statuses;
+          // Held views repeat an earlier value; they never move backwards.
+          EXPECT_GE(status.progress,
+                    last_progress[static_cast<size_t>(status.session_id)])
+              << "session " << status.session_id << " regressed at t="
+              << now_ms;
+          last_progress[static_cast<size_t>(status.session_id)] =
+              status.progress;
+        }
+      });
+
+  // Admission control really engaged...
+  EXPECT_GT(max_divisor_seen, 1) << "impossible budget never tripped";
+  EXPECT_GT(stale_statuses, 0u);
+  // ...and degraded means degraded, not wedged: the at-horizon exemption
+  // let every shard deliver its final reports.
+  EXPECT_TRUE(monitor.AllSessionsDone());
+  for (double progress : last_progress) EXPECT_DOUBLE_EQ(progress, 1.0);
+  EXPECT_TRUE(monitor.FinalCheck().ok());
+}
+
+TEST_F(ShardedMonitorTest, RemoteSessionsRouteAndAggregateTransportStats) {
+  Plan plan = Annotated(Sort(Scan("t_big"), {2}));
+  ExecutionResult result = Traced(plan, /*interval_ms=*/4.0);
+
+  ShardedMonitorOptions options;
+  options.num_shards = 3;
+  options.shard_options.ticks_per_horizon = 24;
+  ShardedMonitor monitor(options);
+  constexpr int kSessions = 9;
+  for (int i = 0; i < kSessions; ++i) {
+    LoopbackOptions loopback;
+    loopback.serve_deltas = (i % 2 == 0);  // mix delta and full transports
+    monitor.RegisterRemoteSession(
+        Key(i), &plan, catalog_.get(),
+        std::make_unique<LoopbackEndpoint>(&result.trace, loopback),
+        /*start_offset_ms=*/i * 2.0);
+  }
+  monitor.RunToCompletion(nullptr);
+  EXPECT_TRUE(monitor.AllSessionsDone());
+
+  MonitorStats fleet = monitor.stats();
+  EXPECT_EQ(fleet.remote_sessions, static_cast<size_t>(kSessions));
+  EXPECT_EQ(fleet.done, static_cast<size_t>(kSessions));
+  EXPECT_GT(fleet.transport_polls, 0u);
+  EXPECT_GT(fleet.transport_bytes, 0u);
+  EXPECT_GT(fleet.snapshots_accepted, 0u);
+  // The delta-serving half of the fleet actually exercised the delta path,
+  // and the per-session accessor reaches through the global id to the right
+  // shard-local client.
+  EXPECT_GT(fleet.deltas_applied, 0u);
+  uint64_t bytes_across_sessions = 0;
+  for (int i = 0; i < kSessions; ++i) {
+    bytes_across_sessions += monitor.session_client_stats(i).bytes_received;
+  }
+  EXPECT_EQ(bytes_across_sessions, fleet.transport_bytes);
+}
+
+// Regression test for the accumulated-tick drift bug. With tick_ms = 6.7 —
+// inexact in binary — 3000 repeated additions accumulate to
+// 20100.000000001135, which is past horizon + 1e-9, so the drifting loop
+// skipped the final on-horizon tick and then issued an overtime tick
+// *beyond* the horizon. The indexed loop computes t = i * tick with one
+// rounding per tick: 3000 * 6.7 is exactly 20100.0.
+TEST_F(ShardedMonitorTest, IndexedTickLoopHitsExactHorizon) {
+  Plan plan = Annotated(Sort(Scan("t_small"), {0}));
+  ExecutionResult result = Traced(plan);
+  // Stretch the virtual timeline so the horizon is exactly 3000 ticks of
+  // 6.7 ms. Counters are untouched; the session simply idles on its last
+  // snapshot until the (much later) final one.
+  result.trace.total_elapsed_ms = 20100.0;
+  result.trace.final_snapshot.time_ms = 20100.0;
+  const double horizon = 20100.0;
+
+  MonitorOptions tick_options;
+  tick_options.tick_ms = 6.7;
+  tick_options.num_threads = 1;
+
+  {
+    MonitorService monitor(tick_options);
+    monitor.RegisterSession("drift", &plan, catalog_.get(), &result.trace,
+                            /*start_offset_ms=*/0);
+    ASSERT_DOUBLE_EQ(monitor.HorizonMs(), horizon);
+    std::vector<double> times;
+    monitor.RunToCompletion(
+        [&](double now_ms, const std::vector<SessionStatus>&) {
+          times.push_back(now_ms);
+        });
+    ASSERT_EQ(times.size(), 3000u) << "final on-horizon tick was skipped";
+    EXPECT_DOUBLE_EQ(times.back(), horizon);
+    for (double t : times) {
+      ASSERT_LE(t, horizon + 1e-9) << "tick drifted past the horizon";
+    }
+    EXPECT_TRUE(monitor.AllSessionsDone())
+        << "session left for overtime ticks the horizon pass should cover";
+  }
+
+  {
+    ShardedMonitorOptions options;
+    options.num_shards = 2;
+    options.shard_options = tick_options;
+    ShardedMonitor monitor(options);
+    monitor.RegisterSession("drift", &plan, catalog_.get(), &result.trace,
+                            /*start_offset_ms=*/0);
+    std::vector<double> times;
+    monitor.RunToCompletion(
+        [&](double now_ms, const std::vector<SessionStatus>&) {
+          times.push_back(now_ms);
+        });
+    ASSERT_EQ(times.size(), 3000u);
+    EXPECT_DOUBLE_EQ(times.back(), horizon);
+    for (double t : times) ASSERT_LE(t, horizon + 1e-9);
+    EXPECT_TRUE(monitor.AllSessionsDone());
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lqs

@@ -338,6 +338,218 @@ TEST(WireTest, Crc32MatchesKnownVectors) {
   EXPECT_EQ(WireCrc32("", 0), 0x00000000u);
 }
 
+// Advances a copy of `base` the way a running query would: same shape, some
+// counters grow, some doubles move, some lifecycle flags flip. Leaving
+// fields untouched (often the whole operator) exercises the presence bitmap
+// and the absent-operator path of the delta codec.
+ProfileSnapshot MutateTowards(Rng& rng, const ProfileSnapshot& base,
+                              double time_ms) {
+  ProfileSnapshot next = base;
+  next.time_ms = time_ms;
+  for (OperatorProfile& op : next.operators) {
+    if (rng.NextBool(0.3)) continue;  // operator entirely unchanged
+    if (rng.NextBool(0.7)) op.row_count += rng.NextBelow(100000);
+    if (rng.NextBool(0.5)) op.logical_read_count += rng.NextBelow(5000);
+    if (rng.NextBool(0.3)) op.rebind_count += rng.NextBelow(4);
+    if (rng.NextBool(0.3)) op.segment_read_count += rng.NextBelow(8);
+    if (rng.NextBool(0.2)) op.total_pages += rng.NextBelow(512);
+    if (rng.NextBool(0.5)) op.cpu_time_ms += rng.NextDouble() * 50;
+    if (rng.NextBool(0.4)) op.io_time_ms += rng.NextDouble() * 50;
+    if (rng.NextBool(0.5)) op.last_active_ms = time_ms;
+    if (rng.NextBool(0.2)) op.estimate_row_count = rng.NextDouble() * 1e9;
+    if (rng.NextBool(0.3) && !op.opened) {
+      op.opened = true;
+      op.open_time_ms = time_ms;
+    }
+    if (rng.NextBool(0.1) && op.opened && !op.closed) {
+      op.closed = true;
+      op.close_time_ms = time_ms;
+    }
+  }
+  return next;
+}
+
+TEST(WireTest, DeltaReassemblyIsByteExactOnRandomizedPairs) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed);
+    ProfileSnapshot base = RandomSnapshot(rng, rng.NextDouble() * 1e5);
+    ProfileSnapshot target =
+        MutateTowards(rng, base, base.time_ms + 1 + rng.NextDouble() * 100);
+
+    auto delta = MakeSnapshotDelta(base, target);
+    ASSERT_TRUE(delta.ok()) << "seed=" << seed << ": "
+                            << delta.status().ToString();
+
+    // The delta frame round-trips byte-identically like every other frame.
+    std::string frame;
+    EncodeSnapshotDelta(delta.value(), &frame);
+    EXPECT_EQ(WireFrameType(frame).value(), WireType::kSnapshotDelta);
+    auto decoded = DecodeSnapshotDelta(frame);
+    ASSERT_TRUE(decoded.ok()) << "seed=" << seed << ": "
+                              << decoded.status().ToString();
+    std::string reencoded;
+    EncodeSnapshotDelta(decoded.value(), &reencoded);
+    EXPECT_EQ(frame, reencoded) << "seed=" << seed;
+
+    // The property the client leans on: applying the decoded delta to the
+    // base reproduces the target bit-for-bit — the reassembled snapshot is
+    // indistinguishable (under EncodeSnapshot) from a full-snapshot send.
+    ProfileSnapshot reassembled;
+    ASSERT_OK(ApplySnapshotDelta(decoded.value(), base, &reassembled));
+    std::string full_target, full_reassembled;
+    EncodeSnapshot(target, &full_target);
+    EncodeSnapshot(reassembled, &full_reassembled);
+    EXPECT_EQ(full_target, full_reassembled) << "seed=" << seed;
+  }
+}
+
+TEST(WireTest, DeltaCarriesOnlyChangedOperatorsAndShrinksTheFrame) {
+  Rng rng(31);
+  // A realistically wide plan (10 operators) — the size claim below is
+  // about unchanged operators costing nothing, so the snapshot must
+  // actually have some.
+  ProfileSnapshot base;
+  base.time_ms = 1000.0;
+  for (int i = 0; i < 10; ++i) {
+    base.operators.push_back(RandomProfile(rng, i));
+  }
+  // Only operator 0 advances; every other operator must be absent from the
+  // delta, and the frame must be much smaller than the full snapshot.
+  ProfileSnapshot target = base;
+  target.time_ms = 1010.0;
+  target.operators[0].row_count += 42;
+  target.operators[0].cpu_time_ms += 1.5;
+
+  auto delta = MakeSnapshotDelta(base, target);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  ASSERT_EQ(delta.value().ops.size(), 1u);
+  EXPECT_EQ(delta.value().ops[0].index, 0u);
+  EXPECT_EQ(delta.value().ops[0].changed,
+            static_cast<uint32_t>(kDeltaRowCount) | kDeltaCpuTime);
+  EXPECT_EQ(delta.value().ops[0].row_count_delta, 42);
+
+  std::string delta_frame, full_frame;
+  EncodeSnapshotDelta(delta.value(), &delta_frame);
+  EncodeSnapshot(target, &full_frame);
+  EXPECT_LT(delta_frame.size() * 3, full_frame.size())
+      << "steady-state delta should be a small fraction of a full snapshot";
+
+  // An identical pair deltas to "nothing changed": header-only payload.
+  ProfileSnapshot same = base;
+  same.time_ms = base.time_ms;
+  auto empty = MakeSnapshotDelta(base, same);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().ops.empty());
+  ProfileSnapshot out;
+  ASSERT_OK(ApplySnapshotDelta(empty.value(), base, &out));
+  std::string a, b;
+  EncodeSnapshot(base, &a);
+  EncodeSnapshot(out, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WireTest, DeltaAgainstWrongBaseIsNotFound) {
+  Rng rng(37);
+  ProfileSnapshot base = RandomSnapshot(rng, 500.0);
+  ProfileSnapshot target = MutateTowards(rng, base, 510.0);
+  auto delta = MakeSnapshotDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+
+  // The client lost the acked base (e.g. it accepted a newer one since):
+  // bit-exact time identity fails, and the caller takes the resync path.
+  ProfileSnapshot other_base = base;
+  other_base.time_ms = base.time_ms + 1.0;
+  ProfileSnapshot out;
+  Status status = ApplySnapshotDelta(delta.value(), other_base, &out);
+  EXPECT_EQ(status.code(), Status::Code::kNotFound) << status.ToString();
+
+  // Structural mismatch is a different failure: the delta cannot possibly
+  // describe this plan, acked or not.
+  ProfileSnapshot fewer_ops = base;
+  fewer_ops.operators.pop_back();
+  if (!delta.value().ops.empty()) {
+    status = ApplySnapshotDelta(delta.value(), fewer_ops, &out);
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument)
+        << status.ToString();
+  }
+}
+
+TEST(WireTest, DeltaRefusesStructurallyMismatchedPairs) {
+  Rng rng(41);
+  ProfileSnapshot base = RandomSnapshot(rng, 100.0);
+
+  ProfileSnapshot extra_op = base;
+  extra_op.time_ms = 110.0;
+  extra_op.operators.push_back(RandomProfile(
+      rng, static_cast<int>(extra_op.operators.size())));
+  EXPECT_EQ(MakeSnapshotDelta(base, extra_op).status().code(),
+            Status::Code::kInvalidArgument);
+
+  ProfileSnapshot retyped = base;
+  retyped.time_ms = 110.0;
+  retyped.operators[0].node_id += 100;
+  EXPECT_EQ(MakeSnapshotDelta(base, retyped).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(WireTest, DeltaFrameSurvivesTruncationAndBitFlips) {
+  Rng rng(43);
+  ProfileSnapshot base = RandomSnapshot(rng, 900.0);
+  ProfileSnapshot target = MutateTowards(rng, base, 930.0);
+  auto delta = MakeSnapshotDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+  std::string frame;
+  EncodeSnapshotDelta(delta.value(), &frame);
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    std::string_view prefix(frame.data(), len);
+    EXPECT_FALSE(DecodeSnapshotDelta(prefix).ok())
+        << "prefix length " << len << " decoded";
+  }
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      EXPECT_FALSE(DecodeSnapshotDelta(damaged).ok())
+          << "flip of byte " << byte << " bit " << bit << " went unnoticed";
+    }
+  }
+  EXPECT_TRUE(DecodeSnapshotDelta(frame).ok());
+}
+
+TEST(WireTest, PollResponseDeltaArmRoundTripsByteIdentical) {
+  Rng rng(47);
+  ProfileSnapshot base = RandomSnapshot(rng, 60.0);
+  ProfileSnapshot target = MutateTowards(rng, base, 75.0);
+  auto delta = MakeSnapshotDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+
+  PollResponse msg;
+  msg.request_id = 77;
+  msg.has_delta = true;
+  msg.delta = delta.value();
+
+  std::string frame;
+  EncodePollResponse(msg, &frame);
+  auto decoded = DecodePollResponse(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_id, 77u);
+  EXPECT_FALSE(decoded.value().has_snapshot);
+  ASSERT_TRUE(decoded.value().has_delta);
+  EXPECT_EQ(decoded.value().delta.ops.size(), delta.value().ops.size());
+  std::string reencoded;
+  EncodePollResponse(decoded.value(), &reencoded);
+  EXPECT_EQ(frame, reencoded);
+
+  // The reassembly chain works through the response envelope too.
+  ProfileSnapshot out;
+  ASSERT_OK(ApplySnapshotDelta(decoded.value().delta, base, &out));
+  std::string full_target, full_out;
+  EncodeSnapshot(target, &full_target);
+  EncodeSnapshot(out, &full_out);
+  EXPECT_EQ(full_target, full_out);
+}
+
 }  // namespace
 }  // namespace testing
 }  // namespace lqs

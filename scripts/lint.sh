@@ -26,8 +26,15 @@
 #      `// lint:allow-raw-mutex` on the same line.
 #   5. clang-format conformance (informational unless LINT_STRICT_FORMAT=1).
 #   6. tools/lqs_verify: Status-discipline, LQS_NOALLOC allocation-freedom,
-#      and layer-DAG checks over the whole tree (DESIGN.md §12). Needs only
-#      python3; skipped with a notice when absent.
+#      layer-DAG, lock-discipline, and determinism checks over the whole
+#      tree (DESIGN.md §12, §14). Needs only python3; skipped with a notice
+#      when absent.
+#   7. No wall-clock / entropy sources in src/ outside the sanctioned
+#      wrappers (src/common/rng.{h,cc}, src/common/virtual_clock.h):
+#      <chrono>/<ctime>/<random> includes and time() calls feed
+#      nondeterminism the LQS_DETERMINISTIC contract (DESIGN.md §14) must
+#      never see. Suppress a justified telemetry-only use with
+#      `// lint:allow-wallclock` on the same line.
 #
 # Every rule always runs; the script exits non-zero if ANY of them failed
 # (the failure count aggregates — one broken rule never masks another).
@@ -92,6 +99,24 @@ while IFS=: read -r file line text; do
   esac
   fail "$file:$line: raw std mutex primitive in src/ — use lqs::Mutex/MutexLock/CondVar from common/mutex.h (or suppress with // lint:allow-raw-mutex)"
 done < <(grep -rnE "$raw_mutex_pattern" src --include='*.cc' --include='*.h')
+
+# ---- 7. Wall-clock / entropy sources in src/ -------------------------------
+# Deterministic outputs are a checked property (lqs-verify `determinism`,
+# DESIGN.md §14); the sanctioned sources are seeded lqs::Rng and
+# VirtualClock. A <chrono>/<ctime>/<random> include or a time() call
+# anywhere else in src/ smuggles nondeterminism in below the call-graph
+# checker's sight line, so the include itself is the violation.
+wallclock_pattern='#include <(chrono|ctime|random)>|(^|[^_[:alnum:]])time\('
+wallclock_allowlist='^src/common/(rng\.(h|cc)|virtual_clock\.h)$'
+while IFS=: read -r file line text; do
+  if echo "$file" | grep -Eq "$wallclock_allowlist"; then
+    continue
+  fi
+  case "$text" in
+    *'lint:allow-wallclock'*) continue ;;
+  esac
+  fail "$file:$line: wall-clock/entropy source in src/ — use VirtualClock or seeded lqs::Rng (or suppress with // lint:allow-wallclock)"
+done < <(grep -rnE "$wallclock_pattern" src --include='*.cc' --include='*.h')
 
 # ---- 5. clang-format (when installed) -------------------------------------
 if command -v clang-format >/dev/null 2>&1; then

@@ -116,9 +116,25 @@ void CondVar::Wait(Mutex* mu) LQS_NO_THREAD_SAFETY_ANALYSIS {
   // The wait releases and re-acquires mu's underlying lock inside
   // std::condition_variable; mirror that in the rank bookkeeping so the
   // held stack never lists a lock this thread is blocked on, and so the
-  // re-acquisition re-validates the rank order (waiting on a lock that was
-  // not the innermost held one is diagnosed here on wakeup).
+  // re-acquisition re-validates the rank order.
   mu->PopHeld();
+  if (Mutex::RankCheckEnabled() && !HeldStack().empty()) {
+    // Any lock still held here stays held for the whole (unbounded) wait:
+    // every other thread needing it deadlocks behind a condition only they
+    // might signal. The static `locks` checker rejects this shape at
+    // analysis time; this is the runtime backstop for paths it cannot see.
+    const std::vector<const Mutex*>& held = HeldStack();
+    std::fprintf(stderr,
+                 "lqs::CondVar::Wait on \"%s\" (rank %d) while holding %zu "
+                 "other lock(s); a blocking wait must hold only the waited "
+                 "mutex. Held locks, oldest first:\n",
+                 mu->name(), mu->rank(), held.size());
+    for (const Mutex* h : held) {
+      std::fprintf(stderr, "  \"%s\" (rank %d)\n", h->name(), h->rank());
+    }
+    std::fflush(stderr);
+    std::abort();
+  }
   std::unique_lock<std::mutex> lock(  // lint:allow-raw-mutex (primitive impl)
       mu->impl_, std::adopt_lock);
   cv_.wait(lock);

@@ -15,6 +15,10 @@ namespace lqs {
 /// between existing ones, ordered outermost (lowest) to innermost/leaf
 /// (highest).
 namespace lock_rank {
+/// ShardedMonitor::backpressure_mu_ — guards the per-shard poll-divisor
+/// backpressure state; taken briefly by the driver thread around a shard
+/// tick and never held across the tick itself.
+inline constexpr int kShardedBackpressure = 50;
 /// MonitorService::stats_mu_ — taken by the driver thread after a tick's
 /// barrier and by any reader calling stats(); never held across a
 /// ParallelFor.
@@ -37,11 +41,13 @@ class CondVar;
 /// express. Not reentrant.
 class LQS_CAPABILITY("mutex") Mutex {
  public:
-  /// `rank` orders this mutex in the global acquisition order (see
-  /// lock_rank); `name` appears in rank-checker diagnostics. Both default
-  /// for standalone leaf locks that are never nested — nesting two
-  /// default-rank mutexes aborts, which is exactly the prompt to pick ranks.
-  explicit Mutex(int rank = 0, const char* name = "lqs::Mutex")
+  /// `rank` orders this mutex in the global acquisition order and must be a
+  /// named constant from lock_rank (the `locks` static checker enforces
+  /// this in src/); `name` appears in rank-checker diagnostics. There is
+  /// deliberately no default rank: two anonymous rank-0 locks look fine
+  /// until they nest in production, and the runtime checker only catches
+  /// the nesting a test happens to execute.
+  explicit Mutex(int rank, const char* name = "lqs::Mutex")
       : rank_(rank), name_(name) {}
 
   Mutex(const Mutex&) = delete;
@@ -102,8 +108,11 @@ class LQS_SCOPED_CAPABILITY MutexLock {
 /// std::condition_variable, can wake spuriously — always wait in a
 /// predicate loop:
 ///   while (!ready_) cv_.Wait(&mu_);
-/// The wait releases and re-acquires the mutex through the rank checker, so
-/// waiting on a non-innermost lock is diagnosed on wakeup.
+/// The wait releases and re-acquires the mutex through the rank checker.
+/// Blocking in Wait while holding any *other* lqs::Mutex parks this thread
+/// with a lock held indefinitely — in rank-checker builds that aborts at
+/// the wait site (see tests/mutex_test.cc), and the static `locks` checker
+/// rejects it at analysis time.
 class CondVar {
  public:
   CondVar() = default;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deterministic.h"
 #include "common/noalloc.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
@@ -160,10 +161,13 @@ class ProgressEstimator {
   /// Estimate() for any snapshot order; see the Workspace contract above.
   /// LQS_NOALLOC: steady-state calls must stay heap-free — statically
   /// checked by tools/lqs_verify (noalloc), dynamically by
-  /// tests/estimator_alloc_test.cc.
-  LQS_NOALLOC void EstimateInto(const ProfileSnapshot& snapshot,
-                                Workspace* workspace,
-                                ProgressReport* report) const;
+  /// tests/estimator_alloc_test.cc. LQS_DETERMINISTIC: the same snapshot
+  /// yields a bit-identical report regardless of replay order, wall-clock
+  /// time, or thread — statically checked by the `determinism` checker,
+  /// dynamically by the replay-order golden tests.
+  LQS_NOALLOC LQS_DETERMINISTIC void EstimateInto(
+      const ProfileSnapshot& snapshot, Workspace* workspace,
+      ProgressReport* report) const;
 
   const PlanAnalysis& analysis() const { return analysis_; }
   const EstimatorOptions& options() const { return options_; }

@@ -23,6 +23,10 @@ namespace lqs {
 ///    of disjoint streams cannot be combined exactly from summaries alone,
 ///    and for an SLO readout the conservative bound is the useful one —
 ///    "every shard's p95 is at or below this".
+///
+/// Concurrency: stateless (one static pure function over value snapshots),
+/// so it is safe from any thread by construction and carries no `locks`
+/// annotations.
 class MonitorAggregator {
  public:
   static MonitorStats Merge(const std::vector<MonitorStats>& shard_stats);

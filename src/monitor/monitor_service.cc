@@ -1,11 +1,26 @@
 #include "monitor/monitor_service.h"
 
 #include <algorithm>
-#include <chrono>
+#include <chrono>  // lint:allow-wallclock latency telemetry (LatencyClockNowMs)
 #include <string>
 #include <utility>
 
 namespace lqs {
+
+namespace {
+
+/// Monotonic timestamp in ms for latency telemetry. The one sanctioned
+/// wall-clock read on the ComputeStatus path: latencies feed stats() and
+/// never the session-ordered statuses, so the determinism contract on the
+/// output bytes is unaffected.
+double LatencyClockNowMs() {
+  // lqs-verify: det-ok(latency telemetry feeds stats(), never the statuses)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 MonitorService::MonitorService(MonitorOptions options)
     : options_(options), pool_(options.num_threads) {}
@@ -59,6 +74,11 @@ int MonitorService::RegisterSession(std::string name, const Plan* plan,
         estimator, options_.checker_options);
   }
   sessions_.push_back(std::move(session));
+  {
+    MutexLock lock(&stats_mu_);
+    sessions_registered_ = sessions_.size();
+    estimators_cached_ = estimator_cache_.size();
+  }
   return static_cast<int>(sessions_.size()) - 1;
 }
 
@@ -83,7 +103,12 @@ int MonitorService::RegisterRemoteSession(
   session.client =
       std::make_unique<PollingClient>(std::move(endpoint), client_options);
   sessions_.push_back(std::move(session));
-  ++remote_sessions_;
+  {
+    MutexLock lock(&stats_mu_);
+    sessions_registered_ = sessions_.size();
+    estimators_cached_ = estimator_cache_.size();
+    ++remote_sessions_;
+  }
   return static_cast<int>(sessions_.size()) - 1;
 }
 
@@ -139,7 +164,7 @@ void MonitorService::ComputeStatus(size_t index, double now_ms,
     out->progress = 0;
     return;
   }
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = LatencyClockNowMs();
   if (session.checker != nullptr) {
     session.checker->EstimateCheckedInto(*out->snapshot, &session.workspace,
                                          &out->report);
@@ -147,9 +172,7 @@ void MonitorService::ComputeStatus(size_t index, double now_ms,
     session.estimator->EstimateInto(*out->snapshot, &session.workspace,
                                     &out->report);
   }
-  *latency_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+  *latency_ms = LatencyClockNowMs() - start_ms;
   out->progress = out->report.query_progress;
 }
 
@@ -177,7 +200,7 @@ void MonitorService::ComputeRemoteStatus(Session* session, SessionStatus* out,
     out->progress = 0;
     return;
   }
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = LatencyClockNowMs();
   if (session->checker != nullptr) {
     session->checker->EstimateCheckedInto(*out->snapshot, &session->workspace,
                                           &out->report);
@@ -185,9 +208,7 @@ void MonitorService::ComputeRemoteStatus(Session* session, SessionStatus* out,
     session->estimator->EstimateInto(*out->snapshot, &session->workspace,
                                      &out->report);
   }
-  *latency_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+  *latency_ms = LatencyClockNowMs() - start_ms;
   out->progress = out->report.query_progress;
 }
 
@@ -337,13 +358,13 @@ ValidationReport MonitorService::FinalCheck() {
 MonitorStats MonitorService::stats() const {
   MutexLock lock(&stats_mu_);
   MonitorStats stats;
-  stats.sessions = sessions_.size();
+  stats.sessions = sessions_registered_;
   stats.active = last_active_;
   stats.waiting = last_waiting_;
   stats.done = last_done_;
   stats.ticks = ticks_;
   stats.reports_computed = reports_computed_;
-  stats.estimators_cached = estimator_cache_.size();
+  stats.estimators_cached = estimators_cached_;
   stats.num_threads = pool_.num_threads();
   stats.wall_ms = wall_ms_;
   if (wall_ms_ > 0) {

@@ -11,6 +11,7 @@
 
 #include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
+#include "common/deterministic.h"
 #include "common/mutex.h"
 #include "common/noalloc.h"
 #include "common/thread_annotations.h"
@@ -291,27 +292,44 @@ class MonitorService {
   /// reporting) are LQS_ALLOC_OK-annotated at their definitions;
   /// everything else must stay heap-free (tests/estimator_alloc_test.cc
   /// bounds the whole Tick at runtime).
-  LQS_NOALLOC void ComputeStatus(size_t index, double now_ms,
-                                 SessionStatus* out, double* latency_ms);
+  /// LQS_DETERMINISTIC: the session-ordered output (`*out`) depends only on
+  /// the session's registered inputs and `now_ms`, never on threads or
+  /// wall-clock time; the one sanctioned exception is `*latency_ms`, pure
+  /// timing telemetry that feeds stats() and never the statuses (see the
+  /// det-ok on LatencyClockNow in monitor_service.cc).
+  LQS_NOALLOC LQS_DETERMINISTIC void ComputeStatus(size_t index, double now_ms,
+                                                   SessionStatus* out,
+                                                   double* latency_ms);
   /// Endpoint-backed arm of ComputeStatus: polls the session's client and
   /// estimates off whatever snapshot the link yielded.
   void ComputeRemoteStatus(Session* session, SessionStatus* out,
                            double* latency_ms);
 
-  MonitorOptions options_;
-  ThreadPool pool_;
+  const MonitorOptions options_;
+  /// Internally synchronized (owns its own kThreadPool lock); fanned out to
+  /// by the driver, joined at the barrier before any state below is read.
+  ThreadPool pool_;  // lqs-verify: guard-ok(internally synchronized pool)
+  /// Driver-thread-only by the documented threading contract: registration
+  /// and Tick() happen on one thread; pool workers touch disjoint per-
+  /// session slots between fan-out and barrier. stats() never reads these —
+  /// it reads the guarded mirror counters below.
+  // lqs-verify: guard-ok(driver-owned; stats() reads guarded mirrors)
   std::vector<Session> sessions_;
+  // lqs-verify: guard-ok(driver-owned; stats() reads guarded mirrors)
   std::map<EstimatorKey, std::unique_ptr<ProgressEstimator>> estimator_cache_;
-  /// Count of endpoint-backed sessions; like sessions_, driver-owned and
-  /// only sampled (not mutated) by stats().
-  size_t remote_sessions_ = 0;
 
-  /// Guards the counters behind stats(). The driver updates them once per
-  /// tick after the ParallelFor barrier (never while holding the pool's
-  /// lock — kMonitorStats < kThreadPool keeps even that nesting legal);
-  /// any thread may read them through stats().
+  /// Guards the counters behind stats(). The driver updates them at
+  /// registration and once per tick after the ParallelFor barrier (never
+  /// while holding the pool's lock — kMonitorStats < kThreadPool keeps even
+  /// that nesting legal); any thread may read them through stats().
   mutable Mutex stats_mu_{lock_rank::kMonitorStats,
                           "MonitorService::stats_mu_"};
+  /// Mirrors of driver-owned container sizes, so stats() can report them
+  /// without racing a concurrent RegisterSession (sessions_.push_back and
+  /// map::emplace are not readable mid-mutation from another thread).
+  size_t sessions_registered_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t estimators_cached_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t remote_sessions_ LQS_GUARDED_BY(stats_mu_) = 0;
   uint64_t ticks_ LQS_GUARDED_BY(stats_mu_) = 0;
   uint64_t reports_computed_ LQS_GUARDED_BY(stats_mu_) = 0;
   size_t last_active_ LQS_GUARDED_BY(stats_mu_) = 0;

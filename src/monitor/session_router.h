@@ -29,6 +29,11 @@ namespace lqs {
 /// 64-bit value. Both are deterministic across runs and platforms, so
 /// session placement (and therefore every downstream per-shard number) is
 /// reproducible.
+///
+/// Concurrency: immutable after construction (the ring is built in the
+/// constructor and never touched again), so ShardFor is safe from any
+/// thread with no lock — which is why the sharded monitor's `locks`
+/// annotations never mention this class.
 class SessionRouter {
  public:
   explicit SessionRouter(int num_shards, int virtual_nodes = 64);
@@ -48,9 +53,9 @@ class SessionRouter {
     int shard;
   };
 
-  int num_shards_;
-  int virtual_nodes_;
-  std::vector<RingPoint> ring_;  // sorted by hash
+  const int num_shards_;
+  const int virtual_nodes_;
+  std::vector<RingPoint> ring_;  // sorted by hash; frozen after the ctor
 };
 
 }  // namespace lqs

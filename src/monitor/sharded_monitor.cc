@@ -1,7 +1,7 @@
 #include "monitor/sharded_monitor.h"
 
 #include <algorithm>
-#include <chrono>
+#include <chrono>  // lint:allow-wallclock backpressure wall-time telemetry
 #include <utility>
 
 namespace lqs {
@@ -13,6 +13,9 @@ ShardedMonitor::ShardedMonitor(ShardedMonitorOptions options)
   for (Shard& shard : shards_) {
     shard.service = std::make_unique<MonitorService>(options_.shard_options);
   }
+  MutexLock lock(&backpressure_mu_);
+  poll_divisors_.assign(shards_.size(), 1);
+  last_tick_wall_ms_.assign(shards_.size(), 0);
 }
 
 int ShardedMonitor::RegisterSession(std::string name, const Plan* plan,
@@ -62,13 +65,14 @@ bool ShardedMonitor::AllSessionsDone() const {
   return true;
 }
 
-void ShardedMonitor::AdjustBackpressure(Shard* shard) {
+void ShardedMonitor::AdjustBackpressure(int shard_index) {
   if (options_.shard_tick_budget_ms <= 0) return;
-  if (shard->last_tick_wall_ms > options_.shard_tick_budget_ms) {
-    shard->poll_divisor =
-        std::min(shard->poll_divisor * 2, std::max(1, options_.max_poll_divisor));
-  } else if (shard->last_tick_wall_ms < options_.shard_tick_budget_ms / 2) {
-    shard->poll_divisor = std::max(1, shard->poll_divisor / 2);
+  const size_t i = static_cast<size_t>(shard_index);
+  if (last_tick_wall_ms_[i] > options_.shard_tick_budget_ms) {
+    poll_divisors_[i] =
+        std::min(poll_divisors_[i] * 2, std::max(1, options_.max_poll_divisor));
+  } else if (last_tick_wall_ms_[i] < options_.shard_tick_budget_ms / 2) {
+    poll_divisors_[i] = std::max(1, poll_divisors_[i] / 2);
   }
 }
 
@@ -78,17 +82,29 @@ std::vector<SessionStatus> ShardedMonitor::Tick(double now_ms) {
   // shard ticks every time, so degraded shards still deliver their final
   // reports instead of holding a stale running view forever.
   const bool at_horizon = now_ms + 1e-9 >= HorizonMs();
-  for (Shard& shard : shards_) {
+  for (size_t shard_index = 0; shard_index < shards_.size(); ++shard_index) {
+    Shard& shard = shards_[shard_index];
+    int divisor;
+    {
+      // Sample the divisor, then release: backpressure_mu_ must never be
+      // held across the shard tick below (it fans out on the shard's
+      // ThreadPool — the blocking-under-lock shape the locks checker
+      // rejects).
+      MutexLock lock(&backpressure_mu_);
+      divisor = poll_divisors_[shard_index];
+    }
     const bool due =
-        shard.held.empty() || shard.poll_divisor <= 1 || at_horizon ||
-        tick_index_ % static_cast<uint64_t>(shard.poll_divisor) == 0;
+        shard.held.empty() || divisor <= 1 || at_horizon ||
+        tick_index_ % static_cast<uint64_t>(divisor) == 0;
     if (due) {
       const auto start = std::chrono::steady_clock::now();
       shard.held = shard.service->Tick(now_ms);
-      shard.last_tick_wall_ms = std::chrono::duration<double, std::milli>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count();
-      AdjustBackpressure(&shard);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      MutexLock lock(&backpressure_mu_);
+      last_tick_wall_ms_[shard_index] = wall_ms;
+      AdjustBackpressure(static_cast<int>(shard_index));
     } else {
       // Skipped by admission control: the held view is served as-is, but
       // flagged — a dashboard must know it is looking at old data.

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "monitor/monitor_aggregator.h"
 #include "monitor/monitor_service.h"
 #include "monitor/session_router.h"
@@ -60,7 +62,10 @@ struct ShardedMonitorOptions {
 ///
 /// Threading: register/tick from one driver thread, same as
 /// MonitorService. stats() is safe from any thread (it only reads the
-/// shards' stats(), each behind its own stats_mu_).
+/// shards' stats(), each behind its own stats_mu_), and so is
+/// poll_divisor(): the backpressure state lives behind backpressure_mu_
+/// (lock_rank::kShardedBackpressure), taken briefly around a shard tick and
+/// never across one.
 class ShardedMonitor {
  public:
   explicit ShardedMonitor(ShardedMonitorOptions options = {});
@@ -89,9 +94,11 @@ class ShardedMonitor {
     return session_homes_[static_cast<size_t>(session_id)].shard;
   }
   const SessionRouter& router() const { return router_; }
-  /// Current poll divisor of one shard (1 = every tick).
-  int poll_divisor(int shard) const {
-    return shards_[static_cast<size_t>(shard)].poll_divisor;
+  /// Current poll divisor of one shard (1 = every tick). Safe from any
+  /// thread — a dashboard can watch admission control live.
+  int poll_divisor(int shard) const LQS_EXCLUDES(backpressure_mu_) {
+    MutexLock lock(&backpressure_mu_);
+    return poll_divisors_[static_cast<size_t>(shard)];
   }
 
   /// Latest virtual completion time across all shards.
@@ -128,8 +135,6 @@ class ShardedMonitor {
     /// Statuses from this shard's most recent computed tick, served (with
     /// `stale` forced) on ticks backpressure skips.
     std::vector<SessionStatus> held;
-    int poll_divisor = 1;
-    double last_tick_wall_ms = 0;
   };
 
   struct SessionHome {
@@ -137,16 +142,33 @@ class ShardedMonitor {
     int local_id = 0;
   };
 
-  /// Doubles/halves `shard`'s divisor from its measured tick wall time.
-  void AdjustBackpressure(Shard* shard);
+  /// Doubles/halves `shard_index`'s divisor from its measured tick wall
+  /// time (poll_divisors_ / last_tick_wall_ms_, both behind the lock).
+  void AdjustBackpressure(int shard_index) LQS_REQUIRES(backpressure_mu_);
 
-  ShardedMonitorOptions options_;
-  SessionRouter router_;
+  const ShardedMonitorOptions options_;
+  const SessionRouter router_;
+  /// Driver-thread-only (registration and Tick happen on one thread; the
+  /// shard services synchronize their own stats internally).
+  // lqs-verify: guard-ok(driver-owned per the threading contract above)
   std::vector<Shard> shards_;
   /// Global session id -> (shard, local id).
+  // lqs-verify: guard-ok(driver-owned per the threading contract above)
   std::vector<SessionHome> session_homes_;
   /// Ticks issued to the sharded monitor as a whole (divisor modulus).
+  // lqs-verify: guard-ok(driver-owned per the threading contract above)
   uint64_t tick_index_ = 0;
+
+  /// Guards the admission-control state so poll_divisor() can be sampled
+  /// from any thread. Taken briefly before a shard tick (to read the
+  /// divisor) and after it (to record the wall time and adjust) — never
+  /// across the tick itself, which fans out on the shard's ThreadPool.
+  mutable Mutex backpressure_mu_{lock_rank::kShardedBackpressure,
+                                 "ShardedMonitor::backpressure_mu_"};
+  /// Per-shard poll divisor (1 = every tick), indexed by shard id.
+  std::vector<int> poll_divisors_ LQS_GUARDED_BY(backpressure_mu_);
+  /// Per-shard wall time of the most recent computed tick, in ms.
+  std::vector<double> last_tick_wall_ms_ LQS_GUARDED_BY(backpressure_mu_);
 };
 
 }  // namespace lqs

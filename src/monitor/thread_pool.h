@@ -76,7 +76,12 @@ class ThreadPool {
   /// of indices this thread completed. Runs with mu_ NOT held.
   static size_t Drain(Job* job);
 
+  /// Both written only in the constructor, before any worker exists; const
+  /// in spirit (num_threads_ is clamped from the argument, so it cannot be
+  /// a const member initialized in the init list without a helper).
+  // lqs-verify: guard-ok(ctor-only write, precedes all worker threads)
   int num_threads_;
+  // lqs-verify: guard-ok(ctor-only write, precedes all worker threads)
   std::vector<std::thread> workers_;
 
   /// Leaf lock for the job handoff; see lock_rank::kThreadPool.

@@ -129,11 +129,13 @@ struct ClientStats {
 ///  - a consecutive-failure budget flips the session to kDegraded instead
 ///    of wedging it; one decodable response flips it back.
 ///
-/// Concurrency audit (DESIGN.md §9-§10): thread-compatible. One client
-/// belongs to one monitor session; MonitorService computes a session on at
-/// most one pool worker per tick and the ParallelFor barrier orders ticks,
-/// so no lock is needed (the same ownership argument as the per-session
-/// ProgressInvariantChecker).
+/// Concurrency audit (DESIGN.md §9-§10, checked by the `locks` rules in
+/// §14): thread-compatible, deliberately mutex-free. One client belongs to
+/// one monitor session; MonitorService computes a session on at most one
+/// pool worker per tick and the ParallelFor barrier orders ticks, so no
+/// lock is needed (the same ownership argument as the per-session
+/// ProgressInvariantChecker). The immutable configuration below is const so
+/// the compiler enforces the read-only half of that contract.
 class PollingClient {
  public:
   PollingClient(std::unique_ptr<SnapshotEndpoint> endpoint,
@@ -174,7 +176,7 @@ class PollingClient {
   void ServeClamped(const ProfileSnapshot& source);
 
   std::unique_ptr<SnapshotEndpoint> endpoint_;
-  PollingClientOptions options_;
+  const PollingClientOptions options_;
   Rng jitter_rng_;
   ClientStats stats_;
   ClientView view_;

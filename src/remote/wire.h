@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deterministic.h"
 #include "common/statusor.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
@@ -144,6 +145,7 @@ struct SnapshotDelta {
 /// node ids, parent ids or operator types differ (plans never change shape
 /// mid-query, so a mismatch means the two snapshots are not from the same
 /// execution — send a keyframe instead).
+LQS_DETERMINISTIC
 StatusOr<SnapshotDelta> MakeSnapshotDelta(const ProfileSnapshot& base,
                                           const ProfileSnapshot& target);
 
@@ -153,6 +155,7 @@ StatusOr<SnapshotDelta> MakeSnapshotDelta(const ProfileSnapshot& base,
 /// kInvalidArgument on structural mismatch (operator count, out-of-range
 /// index). On success `*out` is byte-identical (under EncodeSnapshot) to
 /// the original target.
+LQS_DETERMINISTIC
 Status ApplySnapshotDelta(const SnapshotDelta& delta,
                           const ProfileSnapshot& base, ProfileSnapshot* out);
 
@@ -174,10 +177,17 @@ struct PollResponse {
 
 /// Encoders append exactly one complete frame to `*out` (existing content is
 /// preserved, so frames can be concatenated onto one stream buffer).
+/// LQS_DETERMINISTIC: identical input produces byte-identical frames — the
+/// golden tests pin the bytes; the static checker pins the call graph.
+LQS_DETERMINISTIC
 void EncodeSnapshot(const ProfileSnapshot& snapshot, std::string* out);
+LQS_DETERMINISTIC
 void EncodeTrace(const ProfileTrace& trace, std::string* out);
+LQS_DETERMINISTIC
 void EncodePlanSummary(const PlanSummary& summary, std::string* out);
+LQS_DETERMINISTIC
 void EncodePollResponse(const PollResponse& response, std::string* out);
+LQS_DETERMINISTIC
 void EncodeSnapshotDelta(const SnapshotDelta& delta, std::string* out);
 
 /// Total size (header + payload) of the frame starting at `buffer[0]`, for
@@ -190,10 +200,17 @@ StatusOr<WireType> WireFrameType(std::string_view frame);
 
 /// Decoders require `frame` to be exactly one well-formed frame of the
 /// matching type: header checks, CRC check, full payload consumption.
+/// LQS_DETERMINISTIC like the encoders: same frame, same result (including
+/// the exact Status on malformed input).
+LQS_DETERMINISTIC
 StatusOr<ProfileSnapshot> DecodeSnapshot(std::string_view frame);
+LQS_DETERMINISTIC
 StatusOr<ProfileTrace> DecodeTrace(std::string_view frame);
+LQS_DETERMINISTIC
 StatusOr<PlanSummary> DecodePlanSummary(std::string_view frame);
+LQS_DETERMINISTIC
 StatusOr<PollResponse> DecodePollResponse(std::string_view frame);
+LQS_DETERMINISTIC
 StatusOr<SnapshotDelta> DecodeSnapshotDelta(std::string_view frame);
 
 }  // namespace lqs

@@ -142,30 +142,49 @@ TEST_F(MutexTest, RankStateResetsOnRelease) {
   }
 }
 
-// Waiting on the innermost held lock releases and re-acquires it through
-// the rank bookkeeping without tripping the checker, even with an outer
-// lock held across the wait.
+// Waiting on the only held lock releases and re-acquires it through the
+// rank bookkeeping without tripping the checker, repeatedly: after each
+// wakeup the re-acquisition re-validates the rank order.
 TEST_F(MutexTest, CondVarWaitPreservesRankDiscipline) {
-  Mutex outer(100, "wait-outer");
-  Mutex inner(200, "wait-inner");
+  Mutex mu(200, "wait-mu");
   CondVar cv;
-  bool ready = false;  // guarded by inner
+  int generation = 0;  // guarded by mu
   std::thread waiter([&] {
-    MutexLock a(&outer);
-    MutexLock b(&inner);
-    while (!ready) cv.Wait(&inner);
-    outer.AssertHeld();
-    inner.AssertHeld();
+    MutexLock lock(&mu);
+    while (generation < 2) cv.Wait(&mu);
+    mu.AssertHeld();
   });
-  {
-    MutexLock lock(&inner);
-    ready = true;
+  for (int i = 0; i < 2; ++i) {
+    {
+      MutexLock lock(&mu);
+      ++generation;
+    }
+    cv.SignalAll();
   }
-  cv.SignalAll();
   waiter.join();
 }
 
 using MutexDeathTest = MutexTest;
+
+// Blocking in Wait with a second lock held parks the thread with that lock
+// held for the whole (unbounded) wait — the deadlock shape the static
+// `locks` checker rejects at analysis time. The runtime checker is the
+// backstop for paths static analysis cannot see, and must abort at the
+// wait site rather than letting the thread park.
+TEST_F(MutexDeathTest, WaitWhileHoldingAnotherMutexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex::SetRankCheckEnabled(true);
+        Mutex outer(100, "wait-outer");
+        Mutex inner(200, "wait-inner");
+        CondVar cv;
+        MutexLock a(&outer);
+        MutexLock b(&inner);
+        cv.Wait(&inner);  // lqs-verify: lock-ok(death test exercises abort)
+      },
+      "CondVar::Wait on \"wait-inner\" \\(rank 200\\) while holding");
+}
 
 TEST_F(MutexDeathTest, RankInversionAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

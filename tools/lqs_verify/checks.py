@@ -1,8 +1,10 @@
-"""The three lqs-verify checkers: status-discipline, noalloc, layering.
+"""The five lqs-verify checkers: status-discipline, noalloc, layering,
+lock-order/annotation-coverage (`locks`), and byte-identity purity
+(`determinism`).
 
 Each checker consumes the frontend-agnostic model.SourceModel and returns a
 list of model.Finding. Checker semantics (and the escape hatches) are
-specified in DESIGN.md §12 and pinned down by the fixture suite in
+specified in DESIGN.md §12/§14 and pinned down by the fixture suite in
 testdata/ + test_lqs_verify.py.
 """
 
@@ -81,13 +83,16 @@ def check_status(model: SourceModel) -> List[Finding]:
 
 
 class _Annotation:
-    __slots__ = ("noalloc", "alloc_ok", "virtual", "decl_site")
+    __slots__ = ("noalloc", "alloc_ok", "virtual", "decl_site",
+                 "deterministic", "requires")
 
     def __init__(self) -> None:
         self.noalloc = False
         self.alloc_ok: Optional[str] = None
         self.virtual = False
         self.decl_site: Optional[Tuple[str, int]] = None
+        self.deterministic = False
+        self.requires: List[str] = []
 
 
 def _merge_annotations(model: SourceModel) -> Dict[str, _Annotation]:
@@ -99,10 +104,15 @@ def _merge_annotations(model: SourceModel) -> Dict[str, _Annotation]:
         ann = merged.setdefault(fn.qualname, _Annotation())
         ann.noalloc = ann.noalloc or fn.noalloc
         ann.virtual = ann.virtual or fn.is_virtual
+        ann.deterministic = ann.deterministic or fn.deterministic
+        for req in fn.requires:
+            if req not in ann.requires:
+                ann.requires.append(req)
         if fn.alloc_ok is not None:
             if ann.alloc_ok is None or len(fn.alloc_ok) > len(ann.alloc_ok):
                 ann.alloc_ok = fn.alloc_ok
-        if (fn.noalloc or fn.alloc_ok is not None) and ann.decl_site is None:
+        if (fn.noalloc or fn.alloc_ok is not None
+                or fn.deterministic) and ann.decl_site is None:
             ann.decl_site = (fn.file, fn.line)
     return merged
 
@@ -505,4 +515,387 @@ def _include_cycles(model: SourceModel, root: str) -> List[Finding]:
     for path in sorted(graph):
         if color.get(path, 0) == 0:
             visit(path)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# locks: construction-rank discipline, rank-increasing acquisition chains,
+# blocking-under-lock, and GUARDED_BY annotation coverage.
+
+# The lock primitive itself is the one place allowed to touch raw rank
+# machinery; its functions and members are the mechanism the rules protect.
+_LOCK_EXEMPT_FILES = {"src/common/mutex.h", "src/common/mutex.cc"}
+
+# Calls that block (or fan out to worker threads that block) and therefore
+# must never be reached while an lqs::Mutex is held. CondVar::Wait is
+# handled via AcquireSite (waiting on the *held* mutex is the one legal
+# blocking shape).
+_BLOCKING_CALLS = {
+    "Poll": "SnapshotEndpoint::Poll",
+    "ParallelFor": "ThreadPool::ParallelFor",
+}
+
+
+def _relpath(path: str, root: Optional[str]) -> str:
+    rel = os.path.relpath(path, root) if root else path
+    return rel.replace(os.sep, "/")
+
+
+def check_locks(model: SourceModel, root: str) -> List[Finding]:
+    """Static lock discipline over src/ (DESIGN.md §14).
+
+    (a) every owned lqs::Mutex is constructed with a *named* rank from the
+        lock_rank registry — default construction, numeric literals, and
+        unregistered names are findings;
+    (b) every statically-derivable acquisition chain is strictly
+        rank-increasing, including chains through resolvable non-virtual
+        calls (the compile-time mirror of the runtime rank checker, which
+        only fires on paths a debug test happens to execute);
+    (c) no blocking call (CondVar::Wait on another mutex,
+        SnapshotEndpoint::Poll, ThreadPool::ParallelFor) is reachable while
+        a lock is held;
+    (d) every mutable member of a mutex-owning class is GUARDED_BY-annotated
+        or excused with `// lqs-verify: guard-ok(reason)`.
+
+    `// lqs-verify: lock-ok(reason)` on (or directly above) an acquisition
+    or call line silences rules (a)-(c) for that site; empty reasons are
+    findings. tests/, bench/ and examples/ are out of scope — death tests
+    violate the discipline on purpose.
+    """
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int, str]] = set()
+
+    def report(file: str, line: int, message: str,
+               chain: Optional[List[str]] = None) -> None:
+        key = (file, line, message)
+        if key not in reported:
+            reported.add(key)
+            findings.append(
+                Finding("locks", file, line, message, chain=chain or []))
+
+    def in_scope(path: str) -> bool:
+        rel = _relpath(path, root)
+        return rel.startswith("src/") and rel not in _LOCK_EXEMPT_FILES
+
+    def lock_ok(file: str, line: int) -> bool:
+        sup = model.suppression_for(file, line, "lock-ok")
+        if sup is None:
+            return False
+        if not sup.justification:
+            report(file, sup.line,
+                   "lock-ok escape hatch requires a non-empty reason")
+        return True
+
+    ranks = model.lock_ranks
+
+    # Mutex name -> possible rank values (for call-chain resolution) and
+    # class -> {mutex member -> rank value or None} (for coverage + the
+    # enclosing-class fast path).
+    mutex_ranks: Dict[str, Set[Optional[int]]] = {}
+    class_mutexes: Dict[str, Dict[str, Optional[int]]] = {}
+
+    def rank_value(m) -> Optional[int]:
+        if m.rank_name is not None and m.rank_name in ranks:
+            return ranks[m.rank_name]
+        if m.rank_literal is not None:
+            return m.rank_literal
+        return None
+
+    def rank_findings(m, file: str) -> None:
+        if lock_ok(file, m.line):
+            return
+        if not m.has_init or (m.rank_name is None and m.rank_literal is None):
+            report(file, m.line,
+                   f"mutex '{m.name}' is constructed with the default rank — "
+                   "give it a named rank from the lock_rank registry")
+        elif m.rank_literal is not None:
+            report(file, m.line,
+                   f"mutex '{m.name}' uses numeric rank {m.rank_literal} — "
+                   "register and use a named lock_rank constant")
+        elif m.rank_name not in ranks:
+            report(file, m.line,
+                   f"mutex '{m.name}' uses rank '{m.rank_name}', which is "
+                   "not registered in the lock_rank registry")
+
+    for cls in model.classes:
+        per: Dict[str, Optional[int]] = {}
+        for m in cls.mutexes:
+            per[m.name] = rank_value(m)
+            mutex_ranks.setdefault(m.name, set()).add(per[m.name])
+        class_mutexes.setdefault(cls.name, {}).update(per)
+        if not in_scope(cls.file):
+            continue
+        # Rule (a): construction-site rank discipline.
+        for m in cls.mutexes:
+            rank_findings(m, cls.file)
+        # Rule (d): annotation coverage.
+        for field in cls.fields:
+            if field.is_static or field.is_const or field.is_sync:
+                continue
+            if field.guarded_by is None:
+                sup = model.suppression_for(cls.file, field.line, "guard-ok")
+                if sup is None:
+                    report(cls.file, field.line,
+                           f"mutable member '{field.name}' of mutex-owning "
+                           f"class '{cls.name}' has no GUARDED_BY annotation "
+                           "— annotate it or excuse it with "
+                           "// lqs-verify: guard-ok(reason)")
+                elif not sup.justification:
+                    report(cls.file, sup.line,
+                           "guard-ok escape hatch requires a non-empty "
+                           "reason")
+            elif field.guarded_by not in per:
+                report(cls.file, field.line,
+                       f"GUARDED_BY on '{field.name}' names "
+                       f"'{field.guarded_by or '<empty>'}', which is not a "
+                       f"mutex member of '{cls.name}'")
+
+    # Rule (a) for function-local mutexes in src/.
+    for fn in model.functions:
+        if fn.is_definition and in_scope(fn.file):
+            for m in fn.local_mutexes:
+                rank_findings(m, fn.file)
+
+    # Rules (b) + (c): walk acquisition chains through the call graph.
+    annotations = _merge_annotations(model)
+    defs_by_name = model.definitions_by_name()
+    visibility = _Visibility(model, root) if root is not None else None
+
+    def rank_of(mutex: str, qualname: str) -> Optional[int]:
+        """Rank of `mutex` as seen from a function named `qualname` —
+        prefer the enclosing class's member, fall back to a globally
+        unique name."""
+        if "::" in qualname:
+            enclosing = qualname.rsplit("::", 1)[0].rsplit("::", 1)[-1]
+            per = class_mutexes.get(enclosing)
+            if per is not None and mutex in per:
+                return per[mutex]
+        values = mutex_ranks.get(mutex)
+        if values is not None and len(values) == 1:
+            return next(iter(values))
+        return None
+
+    def describe(mutex: str, qualname: str) -> str:
+        rank = rank_of(mutex, qualname)
+        return f"'{mutex}'" + (f" (rank {rank})" if rank is not None else "")
+
+    visited: Set[Tuple[str, str, frozenset]] = set()
+
+    def walk(fn: FunctionInfo, inherited: Tuple[Tuple[str, Optional[int]],
+                                                ...],
+             chain: List[str]) -> None:
+        key = (fn.qualname, fn.file, frozenset(h[0] for h in inherited))
+        if key in visited:
+            return
+        visited.add(key)
+        base = list(inherited)
+        for req in annotations.get(fn.qualname, _Annotation()).requires:
+            if req not in [h[0] for h in base]:
+                base.append((req, rank_of(req, fn.qualname)))
+
+        def effective(lexical: List[str]):
+            eff = list(base)
+            for name in lexical:
+                if name not in [h[0] for h in eff]:
+                    eff.append((name, rank_of(name, fn.qualname)))
+            return eff
+
+        here = chain + [fn.qualname]
+        for acq in fn.acquires:
+            if lock_ok(fn.file, acq.line):
+                continue
+            eff = effective(acq.held)
+            if acq.kind == "wait":
+                others = [h for h in eff if h[0] != acq.mutex]
+                if others:
+                    report(fn.file, acq.line,
+                           f"CondVar::Wait on '{acq.mutex}' while "
+                           f"{describe(others[0][0], fn.qualname)} is held — "
+                           "a blocking wait must hold only the waited "
+                           "mutex", here)
+                continue
+            acq_rank = rank_of(acq.mutex, fn.qualname)
+            for held_name, held_rank in eff:
+                if held_name == acq.mutex:
+                    report(fn.file, acq.line,
+                           f"recursive acquisition of '{acq.mutex}'", here)
+                    continue
+                if (acq_rank is not None and held_rank is not None
+                        and acq_rank <= held_rank):
+                    report(fn.file, acq.line,
+                           f"acquiring '{acq.mutex}' (rank {acq_rank}) while "
+                           f"'{held_name}' (rank {held_rank}) is held — "
+                           "acquisition order must be strictly "
+                           "rank-increasing", here)
+        for call in fn.calls:
+            eff = effective(call.held)
+            if not eff:
+                continue
+            if model.suppression_for(fn.file, call.line, "lock-ok"):
+                lock_ok(fn.file, call.line)  # flags empty reasons
+                continue
+            if call.name in _BLOCKING_CALLS:
+                report(fn.file, call.line,
+                       f"blocking call {_BLOCKING_CALLS[call.name]} while "
+                       f"{describe(eff[0][0], fn.qualname)} is held — "
+                       "release the lock first or justify with "
+                       "// lqs-verify: lock-ok(reason)", here)
+                continue
+            visible = (visibility.from_file(fn.file)
+                       if visibility is not None else None)
+            for callee in _resolve(call, defs_by_name, visible):
+                if callee.qualname == fn.qualname:
+                    continue
+                ann = annotations.get(callee.qualname)
+                if ann is not None and ann.virtual:
+                    continue  # non-virtual chains only
+                if not in_scope(callee.file) and _relpath(
+                        callee.file, root) in _LOCK_EXEMPT_FILES:
+                    continue  # the primitive layer implements the rules
+                walk(callee, tuple(eff), here)
+
+    for fn in model.functions:
+        if fn.is_definition and in_scope(fn.file):
+            walk(fn, (), [])
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# determinism: byte-identity purity of LQS_DETERMINISTIC functions.
+
+# Functions whose determinism the paper's acceptance criteria rely on
+# (byte-identical wire round-trips, replay-order-independent estimates,
+# thread-count-independent monitor output). A whole-tree run fails if any
+# of these loses its LQS_DETERMINISTIC marker.
+REQUIRED_DETERMINISTIC: Tuple[str, ...] = (
+    "ProgressEstimator::EstimateInto",
+    "EncodeSnapshot",
+    "DecodeSnapshot",
+    "EncodeTrace",
+    "DecodeTrace",
+    "EncodePlanSummary",
+    "DecodePlanSummary",
+    "EncodePollResponse",
+    "DecodePollResponse",
+    "EncodeSnapshotDelta",
+    "DecodeSnapshotDelta",
+    "MakeSnapshotDelta",
+    "ApplySnapshotDelta",
+    "MonitorService::ComputeStatus",
+)
+
+
+def check_determinism(model: SourceModel,
+                      root: Optional[str] = None,
+                      required: Optional[Tuple[str, ...]] = None
+                      ) -> List[Finding]:
+    """No LQS_DETERMINISTIC function may transitively reach a source of
+    run-to-run nondeterminism (DESIGN.md §14).
+
+    Hazards: wall-clock reads (seeded VirtualClock is the sanctioned time
+    source), std::rand / std::random_device / engine construction (seeded
+    lqs::Rng is the sanctioned randomness source), environment reads,
+    iteration over std::unordered_* containers (hash-seed-dependent order),
+    and iteration over pointer-keyed ordered containers (address-dependent
+    order). Escape: `// lqs-verify: det-ok(reason)` on or directly above
+    the hazard (or call) line; empty reasons are findings. Chains stop at
+    virtual calls, like noalloc.
+    """
+    findings: List[Finding] = []
+    annotations = _merge_annotations(model)
+    defs_by_name = model.definitions_by_name()
+    visibility = _Visibility(model, root) if root is not None else None
+    reported: Set[Tuple[str, int, str]] = set()
+
+    def report(file: str, line: int, message: str,
+               chain: Optional[List[str]] = None) -> None:
+        key = (file, line, message)
+        if key not in reported:
+            reported.add(key)
+            findings.append(
+                Finding("determinism", file, line, message, chain=chain or []))
+
+    if required:
+        decl_of: Dict[str, Tuple[str, int]] = {}
+        for fn in model.functions:
+            decl_of.setdefault(fn.qualname, (fn.file, fn.line))
+        for name in required:
+            ann = annotations.get(name)
+            if ann is not None and ann.deterministic:
+                continue
+            file, line = (ann.decl_site if ann is not None and ann.decl_site
+                          else decl_of.get(name, ("<tree>", 0)))
+            report(file, line,
+                   f"required deterministic root '{name}' is missing its "
+                   "LQS_DETERMINISTIC marker")
+
+    def hazard_message(hazard) -> Optional[str]:
+        if hazard.kind == "wall-clock":
+            return (f"reads the wall clock via '{hazard.what}' "
+                    "(VirtualClock is the sanctioned time source)")
+        if hazard.kind == "rand":
+            return (f"uses nondeterministic randomness '{hazard.what}' "
+                    "(seeded lqs::Rng is the sanctioned source)")
+        if hazard.kind == "env":
+            return f"reads the environment via '{hazard.what}'"
+        if hazard.kind == "iter":
+            if hazard.what in model.unordered_names:
+                return (f"iterates unordered container '{hazard.what}' — "
+                        "iteration order depends on the hash seed")
+            if hazard.what in model.ptr_keyed_names:
+                return (f"iterates pointer-keyed container '{hazard.what}' "
+                        "— ordering depends on allocation addresses")
+            return None
+        return None
+
+    def det_ok(file: str, line: int) -> bool:
+        sup = model.suppression_for(file, line, "det-ok")
+        if sup is None:
+            return False
+        if not sup.justification:
+            report(file, sup.line,
+                   "det-ok escape hatch requires a non-empty reason")
+        return True
+
+    roots = [
+        fn for fn in model.functions
+        if fn.is_definition and annotations[fn.qualname].deterministic
+    ]
+    for det_root in roots:
+        visited: Set[str] = set()
+        stack: List[Tuple[FunctionInfo, List[str]]] = [
+            (det_root,
+             [f"{det_root.qualname} ({det_root.file}:{det_root.line})"])
+        ]
+        while stack:
+            fn, chain = stack.pop()
+            if fn.qualname in visited:
+                continue
+            visited.add(fn.qualname)
+            for hazard in fn.hazards:
+                message = hazard_message(hazard)
+                if message is None:
+                    continue
+                if det_ok(fn.file, hazard.line):
+                    continue
+                report(fn.file, hazard.line,
+                       f"'{det_root.qualname}' is LQS_DETERMINISTIC but "
+                       f"{message} in '{fn.qualname}'",
+                       chain + [f"{hazard.what} ({fn.file}:{hazard.line})"])
+            visible = (visibility.from_file(fn.file)
+                       if visibility is not None else None)
+            for call in fn.calls:
+                if model.suppression_for(fn.file, call.line, "det-ok"):
+                    det_ok(fn.file, call.line)  # flags empty reasons
+                    continue
+                for callee in _resolve(call, defs_by_name, visible):
+                    ann = annotations.get(callee.qualname)
+                    if ann is not None and ann.virtual:
+                        continue  # non-virtual chains only
+                    if callee.qualname in visited:
+                        continue
+                    stack.append(
+                        (callee,
+                         chain + [f"{callee.qualname} "
+                                  f"({fn.file}:{call.line})"]))
     return findings

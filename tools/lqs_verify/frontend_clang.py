@@ -9,9 +9,21 @@ libclang-cpp — the driver falls back to frontend_lite, whose behavior the
 fixture suite pins as the reference.
 
 Annotations arrive as [[clang::annotate]] attributes (see
-src/common/noalloc.h): "lqs::noalloc" and "lqs::alloc_ok:<justification>".
+src/common/noalloc.h and src/common/deterministic.h): "lqs::noalloc",
+"lqs::alloc_ok:<justification>", and "lqs::deterministic".
 Comment-level suppressions and the include graph are scanned from raw text
 via the shared helpers in model.py, identically to the lite frontend.
+
+The locks/determinism facts — the lock_rank registry, GUARDED_BY coverage
+state, lexically-held lock sets, and hazard sites — are *defined* lexically
+(DESIGN.md section 14): a MutexLock scope holds until its brace closes, an
+escape comment suppresses the line below it, and the registry is the text
+of the `namespace lock_rank` block. Both frontends therefore source those
+facts from the same scanner (frontend_lite's), exactly as both already do
+for comment suppressions; the AST-derived facts (calls, allocations,
+Status returns, annotate attributes) stay native here. This keeps the two
+frontends byte-identical on the checkers' inputs by construction instead
+of by parallel reimplementation.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+import frontend_lite
 from model import (AllocSite, CallSite, FunctionInfo, SourceModel,
                    scan_includes, scan_suppressions)
 
@@ -127,8 +140,8 @@ def parse_files(paths: List[str],
             parent = parent.semantic_parent
         return "::".join(parts)
 
-    def annotations_of(cursor) -> Tuple[bool, Optional[str]]:
-        noalloc, alloc_ok = False, None
+    def annotations_of(cursor) -> Tuple[bool, Optional[str], bool]:
+        noalloc, alloc_ok, deterministic = False, None, False
         for child in cursor.get_children():
             if child.kind != CursorKind.ANNOTATE_ATTR:
                 continue
@@ -139,7 +152,9 @@ def parse_files(paths: List[str],
                 alloc_ok = text[len("lqs::alloc_ok:"):]
             elif text == "lqs::alloc_ok":
                 alloc_ok = ""
-        return noalloc, alloc_ok
+            elif text == "lqs::deterministic":
+                deterministic = True
+        return noalloc, alloc_ok, deterministic
 
     def lower_body(cursor, fn: FunctionInfo) -> None:
         """Collect call and allocation sites from a function body."""
@@ -262,7 +277,7 @@ def parse_files(paths: List[str],
             if loc.file is None or os.path.normpath(
                     loc.file.name) != os.path.normpath(path):
                 continue
-            noalloc, alloc_ok = annotations_of(cursor)
+            noalloc, alloc_ok, deterministic = annotations_of(cursor)
             fn = FunctionInfo(
                 name=cursor.spelling,
                 qualname=qualname_of(cursor),
@@ -275,6 +290,7 @@ def parse_files(paths: List[str],
                                             or ""),
                 noalloc=noalloc,
                 alloc_ok=alloc_ok,
+                deterministic=deterministic,
             )
             if fn.is_definition:
                 lower_body(cursor, fn)
@@ -283,4 +299,41 @@ def parse_files(paths: List[str],
     for fn in model.functions:
         if fn.returns_status:
             model.status_names.add(fn.name)
+    _overlay_lexical_facts(model, sorted(wanted))
     return model, errors
+
+
+def _overlay_lexical_facts(model: SourceModel, paths: List[str]) -> None:
+    """Graft the lexically-defined locks/determinism facts onto the AST
+    model, from the same scanner the lite frontend uses (see module doc).
+
+    Functions are matched by (file, qualname, is_definition); call sites by
+    (callee name, line). The AST-native deterministic flag is kept as a
+    union — when LQS_DETERMINISTIC expands to the annotate attribute both
+    sources agree, and when a build defines it empty (GCC) the lexical
+    marker is the only witness.
+    """
+    lite_model, _ = frontend_lite.parse_files(list(paths))
+    model.classes.extend(lite_model.classes)
+    model.lock_ranks.update(lite_model.lock_ranks)
+    model.unordered_names.update(lite_model.unordered_names)
+    model.ptr_keyed_names.update(lite_model.ptr_keyed_names)
+
+    by_key: Dict[Tuple[str, str, bool], FunctionInfo] = {}
+    for fn in model.functions:
+        by_key.setdefault((fn.file, fn.qualname, fn.is_definition), fn)
+    for lite_fn in lite_model.functions:
+        fn = by_key.get(
+            (lite_fn.file, lite_fn.qualname, lite_fn.is_definition))
+        if fn is None:
+            continue
+        fn.deterministic = fn.deterministic or lite_fn.deterministic
+        fn.requires = list(lite_fn.requires)
+        fn.acquires = list(lite_fn.acquires)
+        fn.hazards = list(lite_fn.hazards)
+        fn.local_mutexes = list(lite_fn.local_mutexes)
+        held_at = {(c.name, c.line): c.held for c in lite_fn.calls if c.held}
+        for call in fn.calls:
+            held = held_at.get((call.name, call.line))
+            if held:
+                call.held = list(held)

@@ -9,12 +9,21 @@ metaprogramming in function bodies) that extracts exactly the facts in
 model.SourceModel:
 
   * function declarations/definitions with qualified names, return types,
-    virtual-ness, and the LQS_NOALLOC / LQS_ALLOC_OK annotations,
-  * call sites inside bodies, with discard/assignment context,
-  * lexical allocation sites (operator new, malloc family, growing
-    container member calls),
-  * quoted includes and comment-level suppressions (shared helpers in
-    model.py).
+    virtual-ness, and the LQS_NOALLOC / LQS_ALLOC_OK / LQS_DETERMINISTIC /
+    LQS_REQUIRES annotations,
+  * call sites inside bodies, with discard/assignment context and the set
+    of lexically-held lqs::Mutex objects (MutexLock scopes, explicit
+    Lock()/Unlock() pairs),
+  * lock acquisition sites (MutexLock, Lock, CondVar::Wait) and lexical
+    allocation sites (operator new, malloc family, growing container
+    member calls),
+  * determinism hazards (wall-clock reads, std::rand/random_device,
+    environment reads, iteration over unordered / pointer-keyed
+    containers),
+  * per-class concurrency state: lqs::Mutex members with their lock_rank
+    construction argument, and every data member's GUARDED_BY coverage,
+  * quoted includes, comment-level suppressions, and the lock_rank
+    registry (shared helpers in model.py).
 
 Known, deliberate limits (documented in DESIGN.md §12): overloaded
 operators and lambdas are analyzed as part of their enclosing function;
@@ -27,8 +36,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from model import (AllocSite, CallSite, FunctionInfo, SourceModel,
-                   scan_includes, scan_suppressions)
+from model import (AcquireSite, AllocSite, CallSite, ClassConcurrency,
+                   FieldMember, FunctionInfo, HazardSite, MutexMember,
+                   SourceModel, scan_includes, scan_lock_ranks,
+                   scan_suppressions)
 
 
 class FrontendError(Exception):
@@ -202,6 +213,40 @@ _CONTAINER_GROWTH = {
     "resize", "reserve", "assign", "append", "push_front", "emplace_front",
 }
 
+# Thread-safety annotation macros (src/common/thread_annotations.h). In
+# class bodies they decorate member declarations; in signatures the
+# attribute-macro skip in _try_function consumes them (LQS_REQUIRES args
+# are captured there first).
+_ANNOTATION_MACROS = {
+    "LQS_GUARDED_BY", "LQS_PT_GUARDED_BY", "LQS_REQUIRES", "LQS_EXCLUDES",
+    "LQS_ACQUIRE", "LQS_RELEASE", "LQS_TRY_ACQUIRE", "LQS_ASSERT_CAPABILITY",
+    "LQS_RETURN_CAPABILITY", "LQS_ACQUIRED_BEFORE", "LQS_ACQUIRED_AFTER",
+    "LQS_CAPABILITY", "LQS_SCOPED_CAPABILITY",
+}
+
+# Determinism hazard vocabulary (checks.py `determinism`). Seeded lqs::Rng
+# and VirtualClock are the sanctioned sources and never appear here.
+_WALLCLOCK_QUALIFIERS = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+}
+_WALLCLOCK_CALLS = {
+    "time", "gettimeofday", "clock_gettime", "clock", "localtime", "gmtime",
+    "mktime", "timespec_get", "ftime",
+}
+_RANDOM_IDS = {
+    "random_device", "mt19937", "mt19937_64", "default_random_engine",
+    "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48",
+}
+_RAND_CALLS = {"rand", "srand", "rand_r", "drand48", "lrand48", "random"}
+_ENV_CALLS = {"getenv", "secure_getenv", "putenv", "setenv"}
+_ITER_METHODS = {"begin", "end", "cbegin", "cend", "rbegin", "rend"}
+
+_UNORDERED_CONTAINERS = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+}
+_ORDERED_CONTAINERS = {"map", "set", "multimap", "multiset"}
+
 
 class _FileScanner:
     def __init__(self, path: str, tokens: List[Token]):
@@ -209,6 +254,10 @@ class _FileScanner:
         self.tokens = tokens
         self.match = _match_brackets(tokens)
         self.functions: List[FunctionInfo] = []
+        self.classes: List[ClassConcurrency] = []
+        self.unordered_names: set = set()
+        self.ptr_keyed_names: set = set()
+        self._register_containers()
 
     # -- helpers ------------------------------------------------------------
 
@@ -221,10 +270,80 @@ class _FileScanner:
             return self.tokens[i].text
         return None
 
+    # -- container-name registration (determinism `iter` hazards) -----------
+
+    def _angle_close(self, open_idx: int) -> Optional[int]:
+        """Index just past the `>` matching the `<` at open_idx (handles
+        `>>` closing two levels and skips bracketed groups)."""
+        depth = 1
+        k = open_idx + 1
+        while k < len(self.tokens) and depth > 0:
+            tok = self.tokens[k]
+            if tok.kind == "punct" and tok.text in ("(", "[", "{"):
+                k = self.match[k] + 1
+                continue
+            if tok.kind == "punct" and tok.text == "<":
+                depth += 1
+            elif tok.kind == "punct" and tok.text == ">":
+                depth -= 1
+            elif tok.kind == "punct" and tok.text == ">>":
+                depth -= 2
+            elif tok.kind == "punct" and tok.text == ";":
+                return None  # not a template argument list after all
+            k += 1
+        return k if depth <= 0 else None
+
+    def _register_containers(self) -> None:
+        """Record declared names of unordered and pointer-keyed containers.
+
+        These feed the determinism checker: iterating an unordered
+        container leaks the hash seed into output order, and iterating an
+        ordered container keyed on a pointer leaks allocation addresses.
+        The registries are name-based and model-wide (the header declares
+        the member, the .cc iterates it)."""
+        for i, tok in enumerate(self.tokens):
+            if tok.kind != "id":
+                continue
+            is_unordered = tok.text in _UNORDERED_CONTAINERS
+            is_ordered = (tok.text in _ORDERED_CONTAINERS
+                          and self._is(i - 1, "::"))
+            if not (is_unordered or is_ordered) or not self._is(i + 1, "<"):
+                continue
+            after = self._angle_close(i + 1)
+            if after is None:
+                continue
+            declared = self._id(after)
+            if declared is None:
+                continue
+            if is_unordered:
+                self.unordered_names.add(declared)
+                continue
+            # Ordered container: pointer-keyed iff the first top-level
+            # template argument contains a `*`.
+            depth, k = 1, i + 2
+            while k < len(self.tokens) and depth > 0:
+                t = self.tokens[k]
+                if t.kind == "punct" and t.text in ("(", "[", "{"):
+                    k = self.match[k] + 1
+                    continue
+                if t.kind == "punct" and t.text == "<":
+                    depth += 1
+                elif t.kind == "punct" and t.text == ">":
+                    depth -= 1
+                elif t.kind == "punct" and t.text == ">>":
+                    depth -= 2
+                elif t.kind == "punct" and t.text == "," and depth == 1:
+                    break
+                elif t.kind == "punct" and t.text == "*" and depth == 1:
+                    self.ptr_keyed_names.add(declared)
+                    break
+                k += 1
+
     # -- scope walk ---------------------------------------------------------
 
     def scan(self) -> None:
         self._scan_scope(0, len(self.tokens), class_name=None)
+        self._scan_classes(0, len(self.tokens))
 
     def _scan_scope(self, begin: int, end: int,
                     class_name: Optional[str]) -> None:
@@ -291,6 +410,230 @@ class _FileScanner:
         self._scan_scope(j + 1, close, name)
         return close + 1
 
+    # -- per-class concurrency state (locks checker) -------------------------
+
+    def _scan_classes(self, begin: int, end: int) -> None:
+        """Find every class/struct definition and scan its members. The walk
+        is linear and transparent through namespaces and function bodies, so
+        nesting anywhere is found; enum bodies are skipped."""
+        i = begin
+        while i < end:
+            tok = self.tokens[i]
+            if tok.kind == "id" and tok.text == "enum":
+                i = self._skip_enum(i, end)
+                continue
+            if (tok.kind == "id" and tok.text in ("class", "struct")
+                    and self._id(i - 1) != "enum"):
+                name: Optional[str] = None
+                j = i + 1
+                while j < end and not (self._is(j, "{") or self._is(j, ";")):
+                    if self._is(j, "["):
+                        j = self.match[j] + 1
+                        continue
+                    got = self._id(j)
+                    if got is not None and name is None and got != "final":
+                        name = got
+                    j += 1
+                if j >= end or self._is(j, ";"):  # forward declaration
+                    i = j + 1
+                    continue
+                close = self.match[j]
+                self._scan_class_body(j + 1, close, name or "<anonymous>",
+                                      tok.line)
+                i = close + 1
+                continue
+            i += 1
+
+    def _scan_class_body(self, begin: int, end: int, name: str,
+                         line: int) -> None:
+        cls = ClassConcurrency(name=name, file=self.path, line=line)
+        i = begin
+        unit_start = begin
+        while i < end:
+            tok = self.tokens[i]
+            if tok.kind == "punct" and tok.text in ("(", "["):
+                i = self.match[i] + 1
+                continue
+            if tok.kind == "punct" and tok.text == "{":
+                close = self.match[i]
+                head = self._id(unit_start)
+                if head in ("class", "struct"):
+                    nested: Optional[str] = None
+                    for k in range(unit_start + 1, i):
+                        got = self._id(k)
+                        if got is not None and got != "final":
+                            nested = got
+                            break
+                    self._scan_class_body(i + 1, close,
+                                          nested or "<anonymous>",
+                                          self.tokens[unit_start].line)
+                    i = close + 1
+                    if self._is(i, ";"):
+                        i += 1
+                    unit_start = i
+                    continue
+                if head == "enum":
+                    i = close + 1
+                    if self._is(i, ";"):
+                        i += 1
+                    unit_start = i
+                    continue
+                if self._is(close + 1, ";"):
+                    # Brace initializer: the unit continues to that ';'.
+                    i = close + 1
+                    continue
+                # Inline function body (or similar): not a data member.
+                i = close + 1
+                unit_start = i
+                continue
+            if tok.kind == "punct" and tok.text == ";":
+                self._class_member_unit(cls, unit_start, i)
+                i += 1
+                unit_start = i
+                continue
+            if (tok.kind == "punct" and tok.text == ":"
+                    and self._id(i - 1) in ("public", "private", "protected")):
+                i += 1
+                unit_start = i
+                continue
+            i += 1
+        if cls.mutexes:
+            self.classes.append(cls)
+
+    def _class_member_unit(self, cls: ClassConcurrency, begin: int,
+                           end: int) -> None:
+        """Classify one `;`-terminated class-body unit as a data member (and
+        record it), or skip it (functions, aliases, friends, ...)."""
+        first = self._id(begin)
+        if begin >= end or first in (
+                "using", "typedef", "friend", "template", "operator",
+                "static_assert", "enum", "class", "struct", "public",
+                "private", "protected", "return", "if", "for", "while"):
+            return
+        is_static = False
+        is_const = False  # const-ness of the *accessed* object
+        ptr = False
+        seen_eq = False
+        angle = 0
+        guarded: Optional[str] = None
+        named: List[Tuple[str, int]] = []  # (text, token index) at depth 0
+        init_range: Optional[Tuple[int, int]] = None
+        k = begin
+        while k < end:
+            t = self.tokens[k]
+            if t.kind == "id":
+                if (t.text in ("LQS_GUARDED_BY", "LQS_PT_GUARDED_BY")
+                        and self._is(k + 1, "(")):
+                    close = self.match[k + 1]
+                    ids = [
+                        x.text for x in self.tokens[k + 2:close]
+                        if x.kind == "id" and x.text != "this"
+                    ]
+                    guarded = ids[-1] if ids else ""
+                    k = close + 1
+                    continue
+                if t.text in _ANNOTATION_MACROS and self._is(k + 1, "("):
+                    k = self.match[k + 1] + 1
+                    continue
+                if t.text in ("static", "constexpr", "consteval"):
+                    is_static = True
+                    k += 1
+                    continue
+                if t.text == "const" and angle == 0 and not seen_eq:
+                    # `const T x` makes the object const; `T* const x` makes
+                    # the pointer const (still an immutable member); but
+                    # `const T* x` is a mutable pointer member.
+                    if ptr:
+                        is_const = True
+                    elif not named:
+                        is_const = True
+                    k += 1
+                    continue
+                if t.text in ("mutable", "volatile", "inline", "typename",
+                              "extern"):
+                    k += 1
+                    continue
+                if angle == 0 and not seen_eq:
+                    named.append((t.text, k))
+                k += 1
+                continue
+            if t.kind == "punct":
+                if t.text in ("(", "[", "{"):
+                    close = self.match[k]
+                    if (t.text == "(" and angle == 0 and not seen_eq
+                            and named and self.tokens[k - 1].kind == "id"
+                            and self.tokens[k - 1].text == named[-1][0]):
+                        # `name(` at the top level: a function declaration.
+                        return
+                    if (t.text == "{" and angle == 0 and not seen_eq
+                            and named and init_range is None):
+                        init_range = (k + 1, close)
+                    k = close + 1
+                    continue
+                if t.text == "<":
+                    angle += 1
+                elif t.text == ">":
+                    angle = max(0, angle - 1)
+                elif t.text == ">>":
+                    angle = max(0, angle - 2)
+                elif t.text == "=":
+                    seen_eq = True
+                elif t.text in ("*", "&", "&&") and angle == 0 and not seen_eq:
+                    ptr = True
+                    is_const = False  # const seen so far bound the pointee
+                k += 1
+                continue
+            k += 1
+        if len(named) < 2:
+            return  # no separate type and name: not a data member
+        if any(text == "operator" for text, _ in named):
+            return  # operator overload declaration
+        member_name = named[-1][0]
+        member_line = self.tokens[named[-1][1]].line
+        type_ids = [text for text, _ in named[:-1]]
+        if "Mutex" in type_ids and not ptr:
+            mutex = MutexMember(name=member_name, line=member_line)
+            if init_range is not None:
+                mutex.has_init = True
+                rank_name, rank_literal = self._parse_rank_arg(*init_range)
+                mutex.rank_name = rank_name
+                mutex.rank_literal = rank_literal
+            cls.mutexes.append(mutex)
+            return
+        is_sync = any(t in ("Mutex", "CondVar", "MutexLock", "atomic",
+                            "atomic_flag", "mutex", "condition_variable")
+                      for t in type_ids)
+        cls.fields.append(
+            FieldMember(name=member_name, line=member_line,
+                        guarded_by=guarded, is_const=is_const,
+                        is_static=is_static, is_sync=is_sync))
+
+    def _parse_rank_arg(self, begin: int,
+                        end: int) -> Tuple[Optional[str], Optional[int]]:
+        """First constructor argument of a Mutex: a named lock_rank constant
+        (returns (name, None)) or a numeric literal (returns (None, value));
+        (None, None) when the argument list is empty/unrecognized."""
+        arg_ids: List[str] = []
+        k = begin
+        while k < end:
+            t = self.tokens[k]
+            if t.kind == "punct" and t.text in ("(", "[", "{"):
+                k = self.match[k] + 1
+                continue
+            if t.kind == "punct" and t.text == ",":
+                break
+            if t.kind == "id":
+                arg_ids.append(t.text)
+            elif t.kind == "num" and not arg_ids:
+                try:
+                    return None, int(t.text, 0)
+                except ValueError:
+                    return None, None
+            k += 1
+        if arg_ids:
+            return arg_ids[-1], None
+        return None, None
+
     # -- function recognition ----------------------------------------------
 
     def _signature_start(self, chain_start: int) -> int:
@@ -334,6 +677,7 @@ class _FileScanner:
         j = close_paren + 1
         is_virtual = "virtual" in ret_texts
         saw_pure_or_defaulted = False
+        requires: List[str] = []
         while j < len(self.tokens):
             tok = self.tokens[j]
             if tok.kind == "id" and tok.text in _POST_QUALIFIERS:
@@ -345,6 +689,11 @@ class _FileScanner:
                     j = self.match[j] + 1
                 continue
             if tok.kind == "id" and self._is(j + 1, "("):
+                if tok.text == "LQS_REQUIRES":
+                    close = self.match[j + 1]
+                    requires.extend(
+                        t.text for t in self.tokens[j + 2:close]
+                        if t.kind == "id" and t.text != "this")
                 j = self.match[j + 1] + 1  # attribute-like macro
                 continue
             if tok.kind == "punct" and tok.text in ("&", "&&"):
@@ -434,6 +783,8 @@ class _FileScanner:
             returns_status=returns_status,
             noalloc=noalloc,
             alloc_ok=alloc_ok,
+            deterministic="LQS_DETERMINISTIC" in ret_texts,
+            requires=requires,
         )
         if body_open is not None:
             body_close = self.match[body_open]
@@ -481,11 +832,39 @@ class _FileScanner:
             else:
                 return start
 
+    def _last_arg_id(self, open_idx: int) -> Optional[str]:
+        """Last identifier inside a bracketed argument list, skipping
+        `this` — extracts the mutex from `(&mu_)` / `(&shard->mu)`."""
+        result: Optional[str] = None
+        for t in self.tokens[open_idx + 1:self.match[open_idx]]:
+            if t.kind == "id" and t.text != "this":
+                result = t.text
+        return result
+
     def _scan_body(self, fn: FunctionInfo, begin: int, end: int) -> None:
         tokens = self.tokens
+        # Lexical lock tracking: MutexLock scopes release at their
+        # enclosing brace close; explicit Lock() entries release at the
+        # matching Unlock() (or, conservatively, at function end).
+        brace_close: List[int] = []
+        held: List[List] = []  # [mutex name, release token index or None]
+
+        def held_names() -> List[str]:
+            return [h[0] for h in held]
+
         i = begin
         while i < end:
             tok = tokens[i]
+            if tok.kind == "punct" and tok.text == "{":
+                brace_close.append(self.match[i])
+                i += 1
+                continue
+            if tok.kind == "punct" and tok.text == "}":
+                if brace_close and brace_close[-1] == i:
+                    brace_close.pop()
+                held[:] = [h for h in held if h[1] != i]
+                i += 1
+                continue
             if tok.kind == "id" and tok.text == "new":
                 fn.allocs.append(AllocSite("new", "operator new", tok.line))
                 i += 1
@@ -494,6 +873,58 @@ class _FileScanner:
                     and (self._is(i + 1, "(") or self._is(i + 1, "<"))):
                 fn.allocs.append(AllocSite("alloc-fn", tok.text, tok.line))
                 i += 1
+                continue
+            if tok.kind == "id" and tok.text in _RANDOM_IDS:
+                fn.hazards.append(HazardSite("rand", tok.text, tok.line))
+                i += 1
+                continue
+            if (tok.kind == "id" and tok.text == "MutexLock"
+                    and self._id(i + 1) is not None
+                    and (self._is(i + 2, "(") or self._is(i + 2, "{"))):
+                close = self.match[i + 2]
+                mutex = self._last_arg_id(i + 2)
+                if mutex is not None:
+                    fn.acquires.append(
+                        AcquireSite(mutex=mutex, kind="lock", line=tok.line,
+                                    held=held_names()))
+                    release = brace_close[-1] if brace_close else end
+                    held.append([mutex, release])
+                i = close + 1
+                continue
+            if (tok.kind == "id" and tok.text == "Mutex"
+                    and self._id(i + 1) is not None
+                    and (self._is(i + 2, "(") or self._is(i + 2, "{"))):
+                close = self.match[i + 2]
+                rank_name, rank_literal = self._parse_rank_arg(i + 3, close)
+                fn.local_mutexes.append(
+                    MutexMember(name=self.tokens[i + 1].text,
+                                line=tok.line, has_init=close > i + 3,
+                                rank_name=rank_name,
+                                rank_literal=rank_literal))
+                i = close + 1
+                continue
+            if (tok.kind == "id" and tok.text == "for"
+                    and self._is(i + 1, "(")):
+                # Range-for: every identifier in the range expression is a
+                # candidate `iter` hazard (resolved against the container
+                # registries by the determinism checker).
+                close = self.match[i + 1]
+                k = i + 2
+                while k < close:
+                    t = tokens[k]
+                    if t.kind == "punct" and t.text in ("(", "[", "{"):
+                        k = self.match[k] + 1
+                        continue
+                    if t.kind == "punct" and t.text == ";":
+                        break  # classic for loop: no range expression
+                    if t.kind == "punct" and t.text == ":":
+                        for t2 in tokens[k + 1:close]:
+                            if t2.kind == "id":
+                                fn.hazards.append(
+                                    HazardSite("iter", t2.text, t2.line))
+                        break
+                    k += 1
+                i += 2
                 continue
             if not (tok.kind == "punct" and tok.text == "("):
                 i += 1
@@ -511,8 +942,40 @@ class _FileScanner:
                 qualifier = self._id(name_idx - 2)
             if is_method and name in _CONTAINER_GROWTH:
                 fn.allocs.append(AllocSite("container", name, tok.line))
+            # Determinism hazards.
+            if name == "now" and qualifier in _WALLCLOCK_QUALIFIERS:
+                fn.hazards.append(
+                    HazardSite("wall-clock", f"{qualifier}::now", tok.line))
+            elif not is_method and name in _WALLCLOCK_CALLS:
+                fn.hazards.append(HazardSite("wall-clock", name, tok.line))
+            elif not is_method and name in _RAND_CALLS:
+                fn.hazards.append(HazardSite("rand", name, tok.line))
+            elif not is_method and name in _ENV_CALLS:
+                fn.hazards.append(HazardSite("env", name, tok.line))
+            elif is_method and name in _ITER_METHODS:
+                obj = self._id(name_idx - 2)
+                if obj is not None:
+                    fn.hazards.append(HazardSite("iter", obj, tok.line))
+            # Lock semantics of method calls on mutexes and condvars.
+            if is_method and name == "Wait":
+                target = self._last_arg_id(i)
+                if target is not None:
+                    fn.acquires.append(
+                        AcquireSite(mutex=target, kind="wait", line=tok.line,
+                                    held=held_names()))
+            elif is_method and name in ("Lock", "Unlock"):
+                obj = self._id(name_idx - 2)
+                if obj is not None:
+                    if name == "Lock":
+                        held.append([obj, None])
+                    else:
+                        for idx in range(len(held) - 1, -1, -1):
+                            if held[idx][0] == obj:
+                                del held[idx]
+                                break
             call = CallSite(name=name, line=tokens[name_idx].line,
-                            is_method_call=is_method, qualifier=qualifier)
+                            is_method_call=is_method, qualifier=qualifier,
+                            held=held_names())
             start = self._chain_start(name_idx)
             boundary_idx = start - 1
             # Explicit (void) cast?
@@ -574,6 +1037,7 @@ def parse_files(paths: List[str],
             continue
         model.includes[path] = scan_includes(text)
         model.suppressions[path] = scan_suppressions(path, text)
+        model.lock_ranks.update(scan_lock_ranks(text))
         try:
             scanner = _FileScanner(path, tokenize(text))
             scanner.scan()
@@ -581,6 +1045,9 @@ def parse_files(paths: List[str],
             errors.append(f"{path}: {err}")
             continue
         model.functions.extend(scanner.functions)
+        model.classes.extend(scanner.classes)
+        model.unordered_names.update(scanner.unordered_names)
+        model.ptr_keyed_names.update(scanner.ptr_keyed_names)
     for fn in model.functions:
         if fn.returns_status:
             model.status_names.add(fn.name)

@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
 """lqs-verify: call-graph static analysis for the LQS tree.
 
-Three checkers over one source model (see DESIGN.md §12):
+Five checkers over one source model (see DESIGN.md §12/§14):
 
-  status    every call to a lqs::Status / lqs::StatusOr-returning function
-            must consult its result. [[nodiscard]] + -Werror=unused-result
-            catch plain discards at compile time; this checker additionally
-            flags (void)-casts and assigned-but-never-consulted results.
-  noalloc   functions annotated LQS_NOALLOC must not reach an allocation
-            through any non-virtual call chain. LQS_ALLOC_OK("why") marks a
-            deliberate boundary; a comment form silences one call site.
-  layering  the src/ dependency DAG: no upward includes, no include cycles.
+  status       every call to a lqs::Status / lqs::StatusOr-returning
+               function must consult its result. [[nodiscard]] +
+               -Werror=unused-result catch plain discards at compile time;
+               this checker additionally flags (void)-casts and
+               assigned-but-never-consulted results.
+  noalloc      functions annotated LQS_NOALLOC must not reach an allocation
+               through any non-virtual call chain. LQS_ALLOC_OK("why")
+               marks a deliberate boundary; a comment form silences one
+               call site.
+  layering     the src/ dependency DAG: no upward includes, no cycles.
+  locks        every lqs::Mutex in src/ carries a named lock_rank;
+               acquisition chains are strictly rank-increasing; no blocking
+               call is reachable under a lock; mutable members of
+               mutex-owning classes are GUARDED_BY-annotated.
+               Escapes: // lqs-verify: lock-ok(reason) / guard-ok(reason).
+  determinism  LQS_DETERMINISTIC functions must not transitively reach
+               wall-clock time, std::rand/std::random_device, environment
+               reads, or unordered/pointer-keyed container iteration
+               (seeded lqs::Rng and VirtualClock are sanctioned).
+               Escape: // lqs-verify: det-ok(reason).
 
 Frontends: `clang` (libclang via clang.cindex, preferred when available)
 and `lite` (built-in structural scanner, always available, pinned by the
@@ -87,9 +99,10 @@ def run(argv: Optional[List[str]] = None) -> int:
                              "if present)")
     parser.add_argument("--frontend", choices=("auto", "clang", "lite"),
                         default="auto")
-    parser.add_argument("--checks", default="status,noalloc,layering",
+    parser.add_argument("--checks", "--check",
+                        default="status,noalloc,layering,locks,determinism",
                         help="comma-separated subset of "
-                             "status,noalloc,layering")
+                             "status,noalloc,layering,locks,determinism")
     parser.add_argument("--pairing-file", default=None,
                         help="test source whose LQS_NOALLOC_PAIRED markers "
                              "must match the annotation set (default: "
@@ -106,7 +119,8 @@ def run(argv: Optional[List[str]] = None) -> int:
 
     root = os.path.abspath(args.root)
     enabled = {c.strip() for c in args.checks.split(",") if c.strip()}
-    unknown = enabled - {"status", "noalloc", "layering"}
+    unknown = enabled - {"status", "noalloc", "layering", "locks",
+                         "determinism"}
     if unknown:
         print(f"lqs-verify: unknown checks: {', '.join(sorted(unknown))}",
               file=sys.stderr)
@@ -144,6 +158,14 @@ def run(argv: Optional[List[str]] = None) -> int:
             root=root))
     if "layering" in enabled:
         findings.extend(checks.check_layering(model, root))
+    if "locks" in enabled:
+        findings.extend(checks.check_locks(model, root))
+    if "determinism" in enabled:
+        # Required-root presence is a whole-tree property; file-scoped runs
+        # only check the chains of the markers they can see.
+        findings.extend(checks.check_determinism(
+            model, root=root,
+            required=None if args.files else checks.REQUIRED_DETERMINISTIC))
 
     findings.sort(key=lambda f: (f.file, f.line, f.check, f.message))
 

@@ -1,0 +1,138 @@
+// Fixture for the determinism checker. Cases are located by unique
+// substrings from test_lqs_verify.py, so lines may move but markers must
+// stay unique.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#define LQS_DETERMINISTIC
+
+namespace lqs {
+
+// Sanctioned sources: seeded randomness and virtual time. Names matter —
+// the checker allows these and rejects their std:: counterparts.
+struct Rng {
+  unsigned Next();
+};
+struct VirtualClock {
+  double NowMs();
+};
+
+struct Item {
+  int weight = 0;
+};
+
+struct State {
+  std::unordered_map<int, int> hash_index;
+  std::map<const Item*, int> ptr_ranks;
+  std::vector<int> ordered_values;
+  Rng rng;
+  VirtualClock clock;
+};
+
+// case: direct wall-clock read in a deterministic root.
+LQS_DETERMINISTIC double WallClockDirect() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// Not annotated itself — the hazard only matters when reached from a root.
+double NowHelper() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// case: transitive wall-clock reach through a helper.
+LQS_DETERMINISTIC double WallClockTransitive() { return NowHelper(); }
+
+// case: C wall-clock API.
+LQS_DETERMINISTIC long TimeCall() { return time(nullptr); }
+
+// case: std::rand.
+LQS_DETERMINISTIC int RandCall() { return rand(); }
+
+// case: hardware entropy source.
+LQS_DETERMINISTIC unsigned EntropyDraw() {
+  std::random_device entropy;
+  return entropy();
+}
+
+// case: environment read.
+LQS_DETERMINISTIC const char* EnvRead() { return getenv("LQS_MODE"); }
+
+// case: range-for over an unordered container — iteration order depends
+// on the hash seed and would leak into output bytes.
+LQS_DETERMINISTIC int UnorderedRangeFor(State* state) {
+  int sum = 0;
+  for (const auto& entry : state->hash_index) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+// case: explicit begin() on an unordered container.
+LQS_DETERMINISTIC int UnorderedBegin(State* state) {
+  auto it = state->hash_index.begin();
+  return it->second;
+}
+
+// case: iterating a pointer-keyed ordered map — ordering depends on
+// allocation addresses, not values.
+LQS_DETERMINISTIC int PtrKeyedIteration(State* state) {
+  int sum = 0;
+  for (const auto& entry : state->ptr_ranks) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+// case: an escape hatch with an empty reason is itself a finding.
+LQS_DETERMINISTIC long EmptyDetOk() {
+  // lqs-verify: det-ok()
+  return time(nullptr);
+}
+
+// Clean: a justified escape hatch silences the site.
+LQS_DETERMINISTIC long JustifiedDetOk() {
+  // lqs-verify: det-ok(fixture: telemetry only, never feeds output bytes)
+  return time(nullptr);
+}
+
+// Clean: the sanctioned seeded/virtual sources.
+LQS_DETERMINISTIC double SanctionedSources(State* state) {
+  return state->clock.NowMs() + static_cast<double>(state->rng.Next());
+}
+
+// Clean: iteration over ordered, value-keyed containers is reproducible.
+LQS_DETERMINISTIC int OrderedIteration(State* state) {
+  int sum = 0;
+  for (int value : state->ordered_values) {
+    sum += value;
+  }
+  return sum;
+}
+
+// Clean: virtual dispatch is outside the checked chains.
+class TimeSource {
+ public:
+  virtual double Sample() = 0;
+  virtual ~TimeSource() = default;
+};
+
+class WallTimeSource : public TimeSource {
+ public:
+  double Sample() override { return NowHelper(); }
+};
+
+LQS_DETERMINISTIC double ThroughVirtualTime(TimeSource* source) {
+  return source->Sample();
+}
+
+// Clean: hazards in a function nothing deterministic reaches.
+double UnmarkedHazards() { return NowHelper() + rand(); }
+
+}  // namespace lqs

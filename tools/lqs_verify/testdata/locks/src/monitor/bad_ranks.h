@@ -1,0 +1,55 @@
+// Construction-rank fixtures for the locks checker (rule a). Cases are
+// located by unique substrings from test_lqs_verify.py.
+#ifndef LOCKS_FIXTURE_MONITOR_BAD_RANKS_H_
+#define LOCKS_FIXTURE_MONITOR_BAD_RANKS_H_
+
+#include "common/locks.h"
+
+namespace lqs {
+
+// case: default construction — no rank at all.
+class DefaultRank {
+ public:
+  void Touch();
+
+ private:
+  Mutex default_mu_;
+};
+
+// case: numeric-literal rank instead of a named lock_rank constant.
+class LiteralRank {
+ public:
+  void Touch();
+
+ private:
+  Mutex literal_mu_{42, "literal"};
+};
+
+// case: a named rank that is not in the lock_rank registry.
+class GhostRank {
+ public:
+  void Touch();
+
+ private:
+  Mutex ghost_mu_{lock_rank::kGhost, "ghost"};
+};
+
+// Clean: named, registered rank.
+class CleanRank {
+ public:
+  void Touch();
+
+ private:
+  Mutex clean_mu_{lock_rank::kInner, "clean"};
+};
+
+// case: function-local mutex with a literal rank.
+inline void LocalLiteralRank() {
+  Mutex scratch_mu(7, "scratch");
+  scratch_mu.Lock();
+  scratch_mu.Unlock();
+}
+
+}  // namespace lqs
+
+#endif  // LOCKS_FIXTURE_MONITOR_BAD_RANKS_H_

@@ -1,0 +1,67 @@
+// Blocking-under-lock fixtures for the locks checker (rule c): CondVar
+// waits with extra locks held, Poll/ParallelFor under a lock (direct and
+// transitive), and the lock-ok escape hatch (justified vs empty). Cases
+// are located by unique substrings.
+#include "common/locks.h"
+
+namespace lqs {
+
+class Blocking {
+ public:
+  // case: waiting on inner while outer stays held — every other thread
+  // needing outer deadlocks behind a condition only they might signal.
+  void WaitUnderOther() {
+    MutexLock hold_outer(&outer_mu_);
+    MutexLock hold_inner(&inner_mu_);
+    cv_.Wait(&inner_mu_);
+  }
+
+  // Clean: the waited mutex is the only one held.
+  void WaitClean() {
+    MutexLock lock(&inner_mu_);
+    cv_.Wait(&inner_mu_);
+  }
+
+  // case: endpoint poll (unbounded transport wait) under a lock.
+  void PollUnderLock(SnapshotEndpoint* endpoint) {
+    MutexLock lock(&outer_mu_);
+    endpoint->Poll(0);
+  }
+
+  // case: thread-pool fan-out (blocks for the barrier) under a lock.
+  void FanOutUnderLock(ThreadPool* pool) {
+    MutexLock lock(&outer_mu_);
+    pool->ParallelFor(4);
+  }
+
+  // case: the same fan-out reached transitively — the finding lands in
+  // FanOutHelper with the call chain attached.
+  void TransitiveBlocking(ThreadPool* pool) {
+    MutexLock lock(&outer_mu_);
+    FanOutHelper(pool);
+  }
+
+  // Clean on its own (also walked as a root with nothing held).
+  void FanOutHelper(ThreadPool* pool) { pool->ParallelFor(2); }
+
+  // Clean: a justified escape hatch silences the site.
+  void JustifiedPoll(SnapshotEndpoint* endpoint) {
+    MutexLock lock(&outer_mu_);
+    // lqs-verify: lock-ok(fixture: this mock endpoint returns immediately)
+    endpoint->Poll(0);
+  }
+
+  // case: an escape hatch with an empty reason is itself a finding.
+  void EmptyEscapePoll(SnapshotEndpoint* endpoint) {
+    MutexLock lock(&outer_mu_);
+    // lqs-verify: lock-ok()
+    endpoint->Poll(0);
+  }
+
+ private:
+  Mutex outer_mu_{lock_rank::kOuter, "outer"};
+  Mutex inner_mu_{lock_rank::kInner, "inner"};
+  CondVar cv_;
+};
+
+}  // namespace lqs

@@ -1,0 +1,49 @@
+// GUARDED_BY-coverage fixtures for the locks checker (rule d): a
+// mutex-owning class must annotate or excuse every mutable member. Cases
+// are located by unique substrings.
+#ifndef LOCKS_FIXTURE_MONITOR_COVERAGE_H_
+#define LOCKS_FIXTURE_MONITOR_COVERAGE_H_
+
+#include <atomic>
+
+#include "common/locks.h"
+
+namespace lqs {
+
+class Coverage {
+ public:
+  void Touch();
+
+ private:
+  Mutex cover_mu_{lock_rank::kOuter, "cover"};
+
+  // Clean: annotated with the owning mutex.
+  int guarded_counter_ LQS_GUARDED_BY(cover_mu_) = 0;
+
+  // case: mutable member with no annotation and no excuse.
+  int unguarded_counter_ = 0;
+
+  // Clean: explicitly excused with a reason.
+  // lqs-verify: guard-ok(fixture: driver-thread-only by contract)
+  int excused_counter_ = 0;
+
+  // case: an excuse with an empty reason is itself a finding.
+  // lqs-verify: guard-ok()
+  int empty_excuse_counter_ = 0;
+
+  // Clean: immutable after construction.
+  const int frozen_limit_ = 8;
+
+  // Clean: statics are out of the instance-coverage rule.
+  static int shared_default_;
+
+  // Clean: internally synchronized.
+  std::atomic<int> atomic_counter_{0};
+
+  // case: GUARDED_BY names a mutex that is not a member of this class.
+  int ghost_guarded_ LQS_GUARDED_BY(phantom_mu_) = 0;
+};
+
+}  // namespace lqs
+
+#endif  // LOCKS_FIXTURE_MONITOR_COVERAGE_H_

@@ -1,0 +1,45 @@
+// Acquisition-order fixtures for the locks checker (rule b): lexical and
+// transitive rank inversions. Cases are located by unique substrings.
+#include "common/locks.h"
+
+namespace lqs {
+
+class Inversion {
+ public:
+  // case: lexical inversion — kOuter (100) acquired after kInner (200).
+  void LexicalInversion() {
+    MutexLock hold_inner(&inner_mu_);
+    MutexLock then_outer(&outer_mu_);
+  }
+
+  // case: equal ranks — the order between them is undeclared, so nesting
+  // in either direction is an inversion.
+  void EqualRankNesting() {
+    MutexLock first(&outer_mu_);
+    MutexLock second(&also_outer_mu_);
+  }
+
+  // Clean: strictly rank-increasing nesting.
+  void CleanNesting() {
+    MutexLock first(&outer_mu_);
+    MutexLock second(&inner_mu_);
+  }
+
+  // case: transitive inversion — the callee takes kOuter while this frame
+  // still holds kInner. The finding lands at the callee's acquisition with
+  // the call chain attached.
+  void ChainInversion() {
+    MutexLock hold_inner(&inner_mu_);
+    TakeOuter();
+  }
+
+  // Clean on its own (it is also walked as a root with nothing held).
+  void TakeOuter() { MutexLock lock(&outer_mu_); }
+
+ private:
+  Mutex outer_mu_{lock_rank::kOuter, "outer"};
+  Mutex also_outer_mu_{lock_rank::kAlsoOuter, "also-outer"};
+  Mutex inner_mu_{lock_rank::kInner, "inner"};
+};
+
+}  // namespace lqs

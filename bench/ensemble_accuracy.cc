@@ -1,0 +1,209 @@
+// Ensemble-vs-fixed accuracy on seeded misestimated workloads — the König
+// et al. evaluation question applied to our substrate: does online
+// selection among the §5 presets dominate committing to any one of them
+// when the optimizer's cardinalities are wrong?
+//
+// Method: TPC-H (skewed) and TPC-DS workloads are annotated with seeded
+// random selectivity errors (exp(U(-e, e)) multipliers per predicate,
+// several seeds per workload, so different queries are misestimated in
+// different directions). Every query executes once; its trace is replayed
+// through each fixed preset (EvaluateQuery) and through the ensemble
+// (EvaluateEnsemble), and Error_count/Error_time aggregate per
+// configuration.
+//
+// Gate (exit 1 on violation, like monitor_scale's correctness gates):
+//   ensemble Error_time <= 1.1 x best fixed preset, and strictly better
+//   than the worst fixed preset. Robustness, not oracle-picking: the
+//   ensemble must track the per-workload winner it cannot know in advance
+//   while never degenerating to the loser.
+//
+// Output: one trailing "BENCH {...}" JSON line per workload-seed plus one
+// aggregate line (scripts/bench.sh collects them into BENCH_ensemble.json).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ensemble/ensemble_metrics.h"
+#include "lqs/metrics.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace lqs;         // NOLINT
+  using namespace lqs::bench;  // NOLINT
+
+  ExecOptions exec;
+  exec.snapshot_interval_ms = kBenchSnapshotIntervalMs;
+
+  const int kPresets = EstimatorOptions::kPresetCount;
+  struct Config {
+    std::string workload;
+    uint64_t seed;
+    double selectivity_error;
+  };
+  // Two misestimation severities per workload, distinct seeds: e = 1.2
+  // scatters estimates ~3x in both directions, e = 2.0 is the pronounced
+  // stale-statistics regime the paper's robustness argument targets.
+  const Config configs[] = {
+      {"tpch", 7, kBenchSelectivityError},
+      {"tpch", 1031, 2.0},
+      {"tpcds", 13, kBenchSelectivityError},
+      {"tpcds", 4099, 2.0},
+  };
+
+  // Per-preset and ensemble Error_time/Error_count sums over all queries.
+  std::vector<double> preset_time(kPresets, 0), preset_count(kPresets, 0);
+  double ensemble_time = 0, ensemble_count = 0;
+  uint64_t ensemble_switches = 0;
+  double band_coverage = 0, band_width = 0;
+  int queries = 0;
+
+  std::string bench_lines;
+  char line[512];
+  for (const Config& cfg : configs) {
+    StatusOr<Workload> w = Status::NotFound("unset");
+    if (cfg.workload == "tpch") {
+      TpchOptions opt;
+      opt.scale = BenchScale();
+      w = MakeTpchWorkload(opt);
+    } else {
+      TpcdsOptions opt;
+      opt.scale = BenchScale();
+      w = MakeTpcdsWorkload(opt);
+    }
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload %s failed: %s\n", cfg.workload.c_str(),
+                   w.status().ToString().c_str());
+      return 1;
+    }
+    OptimizerOptions oo;
+    oo.selectivity_error = cfg.selectivity_error;
+    oo.seed = cfg.seed;
+    if (!AnnotateWorkload(&w.value(), oo).ok()) return 1;
+
+    std::vector<double> wl_preset_time(kPresets, 0);
+    double wl_ensemble_time = 0;
+    int wl_queries = 0;
+    for (WorkloadQuery& q : w->queries) {
+      auto run = ExecuteQuery(q.plan, w->catalog.get(), exec);
+      if (!run.ok() || run->trace.snapshots.size() < 10) continue;
+      for (int p = 0; p < kPresets; ++p) {
+        const QueryEvaluation e =
+            EvaluateQuery(q.plan, *w->catalog, run->trace,
+                          EstimatorOptions::PresetByIndex(p));
+        preset_time[p] += e.error_time;
+        preset_count[p] += e.error_count;
+        wl_preset_time[p] += e.error_time;
+      }
+      const EnsembleEvaluation e =
+          EvaluateEnsemble(q.plan, *w->catalog, run->trace, EnsembleOptions{});
+      ensemble_time += e.error_time;
+      ensemble_count += e.error_count;
+      ensemble_switches += e.switches;
+      band_coverage += e.band_coverage;
+      band_width += e.band_width;
+      ++queries;
+      ++wl_queries;
+    }
+    if (wl_queries == 0) continue;
+
+    double wl_best = wl_preset_time[0], wl_worst = wl_preset_time[0];
+    int wl_best_ix = 0;
+    for (int p = 1; p < kPresets; ++p) {
+      if (wl_preset_time[p] < wl_best) {
+        wl_best = wl_preset_time[p];
+        wl_best_ix = p;
+      }
+      if (wl_preset_time[p] > wl_worst) wl_worst = wl_preset_time[p];
+    }
+    wl_ensemble_time = ensemble_time;  // running total; per-workload below
+    (void)wl_ensemble_time;
+    std::printf("%-6s seed=%-5llu e=%.1f  queries=%2d  best=%s\n",
+                cfg.workload.c_str(),
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.selectivity_error, wl_queries,
+                EstimatorOptions::PresetName(wl_best_ix));
+    std::snprintf(line, sizeof(line),
+                  "BENCH {\"bench\":\"ensemble_accuracy\",\"workload\":\"%s\","
+                  "\"seed\":%llu,\"selectivity_error\":%.2f,\"queries\":%d,"
+                  "\"best_fixed\":\"%s\",\"best_fixed_error_time\":%.4f,"
+                  "\"worst_fixed_error_time\":%.4f}\n",
+                  cfg.workload.c_str(),
+                  static_cast<unsigned long long>(cfg.seed),
+                  cfg.selectivity_error, wl_queries,
+                  EstimatorOptions::PresetName(wl_best_ix),
+                  wl_best / wl_queries, wl_worst / wl_queries);
+    bench_lines += line;
+  }
+  if (queries == 0) {
+    std::fprintf(stderr, "no queries executed\n");
+    return 1;
+  }
+
+  const double n = static_cast<double>(queries);
+  double best_time = preset_time[0], worst_time = preset_time[0];
+  int best_ix = 0, worst_ix = 0;
+  for (int p = 1; p < kPresets; ++p) {
+    if (preset_time[p] < best_time) {
+      best_time = preset_time[p];
+      best_ix = p;
+    }
+    if (preset_time[p] > worst_time) {
+      worst_time = preset_time[p];
+      worst_ix = p;
+    }
+  }
+
+  std::printf("\n%d queries, Error_time / Error_count per configuration:\n",
+              queries);
+  for (int p = 0; p < kPresets; ++p) {
+    std::printf("  %-10s %.4f / %.4f\n", EstimatorOptions::PresetName(p),
+                preset_time[p] / n, preset_count[p] / n);
+  }
+  std::printf("  %-10s %.4f / %.4f  (switches=%llu, band coverage %.2f, "
+              "width %.3f)\n",
+              "ensemble", ensemble_time / n, ensemble_count / n,
+              static_cast<unsigned long long>(ensemble_switches),
+              band_coverage / n, band_width / n);
+  std::printf("  best fixed: %s, worst fixed: %s\n",
+              EstimatorOptions::PresetName(best_ix),
+              EstimatorOptions::PresetName(worst_ix));
+
+  std::snprintf(line, sizeof(line),
+                "BENCH {\"bench\":\"ensemble_accuracy\",\"workload\":\"all\","
+                "\"queries\":%d,\"ensemble_error_time\":%.4f,"
+                "\"ensemble_error_count\":%.4f,\"best_fixed\":\"%s\","
+                "\"best_fixed_error_time\":%.4f,\"worst_fixed\":\"%s\","
+                "\"worst_fixed_error_time\":%.4f,\"switches\":%llu,"
+                "\"band_coverage\":%.3f,\"band_width\":%.3f}\n",
+                queries, ensemble_time / n, ensemble_count / n,
+                EstimatorOptions::PresetName(best_ix), best_time / n,
+                EstimatorOptions::PresetName(worst_ix), worst_time / n,
+                static_cast<unsigned long long>(ensemble_switches),
+                band_coverage / n, band_width / n);
+  bench_lines += line;
+  std::fputs(bench_lines.c_str(), stdout);
+
+  // The acceptance gate. Tolerance on the best side (the ensemble pays a
+  // warm-up and can never beat an oracle on every workload), strictness on
+  // the worst side (robustness is the whole point).
+  if (ensemble_time > 1.1 * best_time) {
+    std::fprintf(stderr,
+                 "GATE FAILED: ensemble Error_time %.4f > 1.1x best fixed "
+                 "%.4f\n",
+                 ensemble_time / n, best_time / n);
+    return 1;
+  }
+  if (ensemble_time >= worst_time) {
+    std::fprintf(stderr,
+                 "GATE FAILED: ensemble Error_time %.4f not better than "
+                 "worst fixed %.4f\n",
+                 ensemble_time / n, worst_time / n);
+    return 1;
+  }
+  std::printf("gate ok: ensemble within 1.1x of best fixed, better than "
+              "worst fixed\n");
+  return 0;
+}

@@ -142,12 +142,14 @@ int main() {
     return 1;
   }
 
-  const std::vector<EstimatorConfig> presets = {
-      {"tgn", EstimatorOptions::TotalGetNext()},
-      {"bounding", EstimatorOptions::BoundingOnly()},
-      {"refined", EstimatorOptions::DriverNodeRefined()},
-      {"lqs", EstimatorOptions::Lqs()},
-  };
+  // The shared preset registry keeps the bench's configuration list and
+  // output labels in lockstep with the estimator (and the ensemble's
+  // candidate pool).
+  std::vector<EstimatorConfig> presets;
+  for (int i = 0; i < EstimatorOptions::kPresetCount; ++i) {
+    presets.push_back({EstimatorOptions::PresetName(i),
+                       EstimatorOptions::PresetByIndex(i)});
+  }
   const std::vector<size_t> session_counts = {1, 8, 64};
 
   // Estimators cached per (plan, mode) within a preset, like the monitor's

@@ -1,0 +1,287 @@
+#include "ensemble/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace lqs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Blend weight floor: a perfectly stable candidate (score 0) must not
+/// collapse every other weight to nothing.
+constexpr double kScoreEpsilon = 1e-3;
+
+double Clamp01(double v) {
+  if (v < 0) return 0;
+  if (v > 1) return 1;
+  return v;
+}
+
+}  // namespace
+
+std::vector<EnsembleCandidate> DefaultEnsembleCandidates() {
+  std::vector<EnsembleCandidate> out;
+  // The shipping preset leads: it is the warm-up fallback before any
+  // candidate has enough observations to be scored on merit.
+  out.push_back({"lqs", EstimatorOptions::Lqs()});
+  for (int i = 0; i < EstimatorOptions::kPresetCount; ++i) {
+    EstimatorOptions preset = EstimatorOptions::PresetByIndex(i);
+    if (preset.PackBits() == EstimatorOptions::Lqs().PackBits()) continue;
+    out.push_back({EstimatorOptions::PresetName(i), preset});
+  }
+  // Parameter variants beyond the four §5 presets.
+  EstimatorOptions interp = EstimatorOptions::Lqs();
+  interp.interpolate_refinement = true;
+  out.push_back({"lqs_interp", interp});
+  EstimatorOptions refined_weighted = EstimatorOptions::DriverNodeRefined();
+  refined_weighted.use_weights = true;
+  out.push_back({"refined_weighted", refined_weighted});
+  return out;
+}
+
+void CandidateScore::Prepare(int capacity) {
+  if (capacity < 2) capacity = 2;
+  eta_.assign(static_cast<size_t>(capacity), 0.0);
+  dev_.assign(static_cast<size_t>(capacity), 0.0);
+  time_.assign(static_cast<size_t>(capacity), 0.0);
+  head_ = 0;
+  count_ = 0;
+}
+
+void CandidateScore::Observe(double time_ms, double progress,
+                             double median_progress) {
+  if (!(progress >= kMinProgress)) return;  // also rejects NaN
+  if (progress > 1.0) progress = 1.0;
+  const double eta = time_ms / progress;
+  const double dev = std::fabs(progress - median_progress);
+  const int cap = static_cast<int>(eta_.size());
+  if (count_ > 0) {
+    const int last = (head_ + cap - 1) % cap;
+    if (time_[static_cast<size_t>(last)] == time_ms) {
+      // Re-estimate of a held snapshot: refresh in place, don't flood.
+      eta_[static_cast<size_t>(last)] = eta;
+      dev_[static_cast<size_t>(last)] = dev;
+      return;
+    }
+  }
+  eta_[static_cast<size_t>(head_)] = eta;
+  dev_[static_cast<size_t>(head_)] = dev;
+  time_[static_cast<size_t>(head_)] = time_ms;
+  head_ = (head_ + 1) % cap;
+  if (count_ < cap) ++count_;
+}
+
+double CandidateScore::Score(int min_observations) const {
+  if (min_observations < 1) min_observations = 1;
+  if (count_ < min_observations) return kInf;
+  double sum = 0;
+  for (int i = 0; i < count_; ++i) sum += eta_[static_cast<size_t>(i)];
+  const double mean = sum / count_;
+  if (!(mean > 0)) return kInf;
+  double eta_dev = 0, consensus_dev = 0;
+  for (int i = 0; i < count_; ++i) {
+    eta_dev += std::fabs(eta_[static_cast<size_t>(i)] - mean);
+    consensus_dev += dev_[static_cast<size_t>(i)];
+  }
+  return (eta_dev / count_) / mean + consensus_dev / count_;
+}
+
+int HysteresisSelector::Update(const double* scores, int count, double margin,
+                               int switch_ticks) {
+  if (count <= 0) return winner;
+  // Best candidate this round: lowest score, ties to the lowest index
+  // (strict < keeps the earlier index on equality — deterministic).
+  int best = 0;
+  for (int i = 1; i < count; ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  if (winner < 0 || winner >= count) {
+    // Initial selection is free of hysteresis and not counted as a switch.
+    winner = best;
+    challenger = -1;
+    streak = 0;
+    return winner;
+  }
+  if (!std::isfinite(scores[winner]) && std::isfinite(scores[best])) {
+    // The incumbent's score degenerated; waiting out the streak would mean
+    // ticks of selections with no supporting evidence.
+    winner = best;
+    challenger = -1;
+    streak = 0;
+    ++switches;
+    return winner;
+  }
+  if (best != winner && std::isfinite(scores[best]) &&
+      scores[best] < scores[winner] * (1.0 - margin)) {
+    if (best == challenger) {
+      ++streak;
+    } else {
+      challenger = best;
+      streak = 1;
+    }
+    if (streak >= switch_ticks) {
+      winner = best;
+      challenger = -1;
+      streak = 0;
+      ++switches;
+    }
+  } else {
+    // Challenge lapsed (or the incumbent is the best again).
+    challenger = -1;
+    streak = 0;
+  }
+  return winner;
+}
+
+EnsembleEstimator::EnsembleEstimator(const Plan* plan, const Catalog* catalog,
+                                     EnsembleOptions options)
+    : plan_(plan), catalog_(catalog), options_(std::move(options)) {
+  if (options_.candidates.empty()) {
+    options_.candidates = DefaultEnsembleCandidates();
+  }
+  candidates_.reserve(options_.candidates.size());
+  for (EnsembleCandidate& c : options_.candidates) {
+    c.options.incremental = options_.incremental;
+    c.options.ensemble = false;  // candidates are plain estimators
+    candidates_.push_back(
+        std::make_unique<ProgressEstimator>(plan_, catalog_, c.options));
+  }
+}
+
+void EnsembleEstimator::PrepareWorkspace(Workspace* ws) const {
+  if (ws->owner == this) return;
+  if (ws->owner != nullptr) {
+    std::fprintf(stderr,
+                 "EnsembleEstimator::EstimateInto: workspace is bound to a "
+                 "different ensemble (%p, this=%p) — one workspace per "
+                 "ensemble per thread\n",
+                 static_cast<const void*>(ws->owner),
+                 static_cast<const void*>(this));
+    std::abort();
+  }
+  ws->owner = this;
+  const size_t n = candidates_.size();
+  ws->candidate_ws.resize(n);
+  ws->candidate_report.resize(n);
+  ws->score.resize(n);
+  ws->score_value.assign(n, kInf);
+  ws->median_scratch.assign(n, 0.0);
+  for (CandidateScore& s : ws->score) s.Prepare(options_.ring_capacity);
+  ws->stats.candidate_latency_ms.assign(n, 0.0);
+  ws->stats.selected_ticks.assign(n, 0);
+}
+
+void EnsembleEstimator::EstimateInto(const ProfileSnapshot& snapshot,
+                                     Workspace* ws,
+                                     EnsembleReport* report) const {
+  PrepareWorkspace(ws);
+  const int n = static_cast<int>(candidates_.size());
+
+  // 1. Drive every candidate over the snapshot through its own workspace.
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    double t0 = 0;
+    if (options_.latency_clock_ms != nullptr) t0 = options_.latency_clock_ms();
+    candidates_[si]->EstimateInto(snapshot, &ws->candidate_ws[si],
+                                  &ws->candidate_report[si]);
+    if (options_.latency_clock_ms != nullptr) {
+      // Telemetry only (Workspace::Stats, never the report) — the same
+      // carve-out as the monitor's latency counters.
+      ws->stats.candidate_latency_ms[si] += options_.latency_clock_ms() - t0;
+    }
+  }
+
+  // 2. Score each candidate against the pack: the per-tick median progress
+  // is the consensus reference (robust to a minority of biased outliers —
+  // no candidate can drag it far on its own).
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    ws->median_scratch[si] =
+        Clamp01(ws->candidate_report[si].query_progress);
+  }
+  std::sort(ws->median_scratch.begin(), ws->median_scratch.end());
+  const double median =
+      (n % 2 == 1)
+          ? ws->median_scratch[static_cast<size_t>(n / 2)]
+          : 0.5 * (ws->median_scratch[static_cast<size_t>(n / 2 - 1)] +
+                   ws->median_scratch[static_cast<size_t>(n / 2)]);
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    ws->score[si].Observe(snapshot.time_ms,
+                          ws->candidate_report[si].query_progress, median);
+    ws->score_value[si] = ws->score[si].Score(options_.min_observations);
+  }
+
+  // 3. Hysteresis-damped selection over the scores.
+  const int winner = ws->selector.Update(ws->score_value.data(), n,
+                                         options_.hysteresis_margin,
+                                         options_.switch_ticks);
+  const size_t wi = static_cast<size_t>(winner);
+
+  // 4. Trusted set: the winner, plus every candidate whose score is within
+  // trust_factor of the best finite score.
+  double best_score = kInf;
+  for (int i = 0; i < n; ++i) {
+    best_score = std::min(best_score, ws->score_value[static_cast<size_t>(i)]);
+  }
+
+  report->winner = winner;
+  report->winner_name = options_.candidates[wi].name.c_str();
+  report->selected = ws->candidate_report[wi];
+  // Output vectors reuse their capacity after the first call on a report
+  // that is itself reused (monitor sessions hold one per session).
+  report->candidate_progress.resize(  // LQS_ALLOC_OK("capacity-reusing resize to the fixed candidate count; allocates only on a fresh report object")
+      static_cast<size_t>(n));
+  report->candidate_score.resize(  // LQS_ALLOC_OK("capacity-reusing resize to the fixed candidate count; allocates only on a fresh report object")
+      static_cast<size_t>(n));
+  report->candidate_trusted.resize(  // LQS_ALLOC_OK("capacity-reusing resize to the fixed candidate count; allocates only on a fresh report object")
+      static_cast<size_t>(n));
+
+  double band_lo = kInf, band_hi = -kInf;
+  double blend_num = 0, blend_den = 0;
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const double progress = Clamp01(ws->candidate_report[si].query_progress);
+    const double score = ws->score_value[si];
+    const bool trusted =
+        i == winner ||
+        (std::isfinite(score) && std::isfinite(best_score) &&
+         score <= options_.trust_factor * best_score);
+    report->candidate_progress[si] = progress;
+    report->candidate_score[si] = score;
+    report->candidate_trusted[si] = trusted ? 1 : 0;
+    if (trusted) {
+      band_lo = std::min(band_lo, progress);
+      band_hi = std::max(band_hi, progress);
+      if (std::isfinite(score)) {
+        const double weight = 1.0 / (score + kScoreEpsilon);
+        blend_num += weight * progress;
+        blend_den += weight;
+      }
+    }
+  }
+  report->band_lo = Clamp01(band_lo);
+  report->band_hi = Clamp01(band_hi);
+
+  const double selected_progress =
+      Clamp01(ws->candidate_report[wi].query_progress);
+  // No trusted candidate has a finite score during warm-up: the blend
+  // degenerates to the fallback winner.
+  report->blended_progress =
+      blend_den > 0 ? blend_num / blend_den : selected_progress;
+  report->query_progress =
+      options_.blend ? report->blended_progress : selected_progress;
+
+  // 5. Telemetry.
+  ws->stats.calls += 1;
+  ws->stats.candidate_estimates += static_cast<uint64_t>(n);
+  ws->stats.switches = ws->selector.switches;
+  ws->stats.selected_ticks[wi] += 1;
+}
+
+}  // namespace lqs

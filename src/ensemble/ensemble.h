@@ -1,0 +1,263 @@
+#ifndef LQS_ENSEMBLE_ENSEMBLE_H_
+#define LQS_ENSEMBLE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deterministic.h"
+#include "common/noalloc.h"
+#include "dmv/query_profile.h"
+#include "exec/plan.h"
+#include "lqs/estimator.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// One ensemble candidate: a named EstimatorOptions configuration. The
+/// default set (DefaultEnsembleCandidates) is the four shared-registry
+/// presets plus parameter variants, the candidate pool König et al. select
+/// from online ("A Statistical Approach Towards Robust Progress
+/// Estimation": no single estimator wins across workloads).
+struct EnsembleCandidate {
+  std::string name;
+  EstimatorOptions options;
+};
+
+/// Knobs of the ensemble. Defaults are the configuration the
+/// bench/ensemble_accuracy acceptance run gates on.
+struct EnsembleOptions {
+  /// Candidate pool; empty selects DefaultEnsembleCandidates(). The first
+  /// candidate is the fallback winner while no candidate has enough
+  /// observations to be scored (the default pool puts the shipping "lqs"
+  /// preset first for exactly that reason).
+  std::vector<EnsembleCandidate> candidates;
+  /// Samples of the per-candidate scoring ring (fixed capacity — the
+  /// scoring state is O(candidates * ring) and never grows). Short enough
+  /// that the score tracks the current execution phase; the consensus
+  /// term, not ring width, is what exposes smoothly-biased candidates.
+  int ring_capacity = 16;
+  /// Observations a candidate needs before its score is finite (and it can
+  /// win or join the trusted band on merit).
+  int min_observations = 8;
+  /// Relative score improvement a challenger must show over the incumbent
+  /// winner before the switch countdown starts: switch only when
+  /// challenger_score < winner_score * (1 - hysteresis_margin). The default
+  /// is deliberately demanding (2x better): ETA stability is a proxy — a
+  /// smoothly-biased candidate can look locally stable — so switching away
+  /// from the shipping fallback needs strong, sustained evidence
+  /// (bench/ensemble_accuracy gates on the resulting robustness).
+  double hysteresis_margin = 0.5;
+  /// Consecutive estimates the challenger must stay that much better
+  /// before the winner actually changes (flap damping).
+  int switch_ticks = 8;
+  /// Candidates whose score is within trust_factor of the best score form
+  /// the trusted set behind the uncertainty band and the blend.
+  double trust_factor = 3.0;
+  /// Report the inverse-score blend across trusted candidates as the
+  /// headline progress instead of the selected candidate's progress. The
+  /// selected report is emitted either way.
+  bool blend = false;
+  /// Forwarded to every candidate (workspace short-circuits on/off, see
+  /// EstimatorOptions::incremental).
+  bool incremental = true;
+  /// Optional wall-clock source for per-candidate latency TELEMETRY only
+  /// (MonitorService injects its latency clock). Latencies land in
+  /// Workspace::Stats and never in any report, so the determinism
+  /// contract on the output bytes is unaffected. Null disables timing and
+  /// keeps EstimateInto free of any clock read.
+  double (*latency_clock_ms)() = nullptr;
+};
+
+/// The default candidate pool: every shared-registry preset under its
+/// canonical name, plus two parameter variants ("lqs_interp": prior-work
+/// interpolated refinement [22]; "refined_weighted": §5.1
+/// bounding+refinement with §4.6 weights).
+std::vector<EnsembleCandidate> DefaultEnsembleCandidates();
+
+/// Online trustworthiness score of one candidate over a fixed-capacity ring
+/// of its recent estimates. Two bounded signals combine (lower is better,
+/// +infinity until min_observations samples have been seen):
+///
+///  1. ETA stability (progress-rate consistency): at estimate (t, p) the
+///     candidate implicitly predicts total time t / p; an estimator whose
+///     progress tracks reality predicts the same total every time, so the
+///     normalized dispersion of the ring's predictions measures rate
+///     consistency. Alone this signal is gameable — a proportionally
+///     biased estimator (progress = c x truth) predicts a perfectly
+///     CONSTANT wrong total T/c — hence:
+///  2. Consensus deviation: mean distance of the candidate's progress from
+///     the per-tick median across all candidates. A robust-statistics
+///     outlier test — smoothly biased candidates sit far from the median
+///     pack and pay for it, while the median itself needs no ground truth.
+class CandidateScore {
+ public:
+  /// Sizes the ring. Allocation boundary — called once per workspace
+  /// binding, never from steady-state estimation.
+  void Prepare(int capacity);
+
+  /// Records one estimate: the candidate's progress at virtual time
+  /// `time_ms`, plus the median progress across all candidates at that
+  /// tick. A sample at the same time as the previous one replaces it
+  /// instead of pushing (a monitor re-estimating a held snapshot must not
+  /// flood the ring with duplicates). Progress below `kMinProgress`
+  /// carries no usable ETA and is ignored.
+  LQS_NOALLOC void Observe(double time_ms, double progress,
+                           double median_progress);
+
+  /// The combined score: normalized ETA dispersion (mean absolute
+  /// deviation of the ring's predicted totals over their mean) plus the
+  /// ring's mean consensus deviation. +infinity until `min_observations`
+  /// samples are in the ring.
+  LQS_NOALLOC double Score(int min_observations) const;
+
+  int observations() const { return count_; }
+
+  /// Progress floor below which a sample yields no ETA prediction.
+  static constexpr double kMinProgress = 1e-4;
+
+ private:
+  std::vector<double> eta_;   ///< ring of predicted total times
+  std::vector<double> dev_;   ///< ring of |progress - median| deviations
+  std::vector<double> time_;  ///< sample times (duplicate-time replacement)
+  int head_ = 0;              ///< next slot to overwrite
+  int count_ = 0;             ///< valid entries, <= capacity
+};
+
+/// Winner selection with hysteresis, as pure replayable logic (the flap
+/// tests drive it with crafted score sequences). Lower scores are better;
+/// ties break to the lowest index so selection is deterministic.
+struct HysteresisSelector {
+  int winner = -1;
+  int challenger = -1;
+  int streak = 0;
+  uint64_t switches = 0;
+
+  /// Observes one round of scores and returns the selected index. A
+  /// challenger must beat the incumbent by `margin` (relative) for
+  /// `switch_ticks` consecutive rounds to take over; an incumbent whose
+  /// score has gone non-finite is abandoned immediately.
+  LQS_NOALLOC int Update(const double* scores, int count, double margin,
+                         int switch_ticks);
+};
+
+/// Output of one ensemble estimate.
+struct EnsembleReport {
+  /// Full report of the selected candidate (what the dashboard renders
+  /// under the query, exactly like a single-estimator session).
+  ProgressReport selected;
+  /// Index + registry name of the selected candidate.
+  int winner = -1;
+  const char* winner_name = "";
+  /// Headline progress: the selected candidate's query progress, or the
+  /// inverse-score blend across trusted candidates when options.blend is
+  /// set. Always within [band_lo, band_hi].
+  double query_progress = 0;
+  /// Uncertainty band: min/max query progress across the trusted
+  /// candidates (always including the winner), clamped to [0, 1].
+  double band_lo = 0;
+  double band_hi = 0;
+  /// Inverse-score blend across trusted candidates (filled regardless of
+  /// options.blend, for diagnostics).
+  double blended_progress = 0;
+  /// Per-candidate query progress / score / trusted flag, indexed like
+  /// options.candidates.
+  std::vector<double> candidate_progress;
+  std::vector<double> candidate_score;
+  std::vector<uint8_t> candidate_trusted;
+};
+
+/// Robust online ensemble estimator: owns one ProgressEstimator per
+/// candidate configuration, drives them all through the zero-allocation
+/// EstimateInto path on every snapshot, scores each candidate online
+/// against ETA stability, and emits a selected-or-blended estimate with an
+/// uncertainty band. Selection is damped by hysteresis so the winner does
+/// not flap between ticks.
+///
+/// Sharing model mirrors ProgressEstimator: the estimator is const and
+/// shareable after construction (MonitorService caches one per
+/// (plan, catalog, packed options) and shares it across sessions); all
+/// per-session mutable state — candidate workspaces, score rings, the
+/// selector — lives in the Workspace, one per ensemble per thread.
+class EnsembleEstimator {
+ public:
+  /// Per-session scratch + scoring state. Binds to its ensemble on the
+  /// first EstimateInto call and aborts if passed to a different one,
+  /// exactly like ProgressEstimator::Workspace.
+  struct Workspace {
+    /// Observability counters (cumulative since construction).
+    struct Stats {
+      uint64_t calls = 0;
+      /// Candidate EstimateInto calls (= calls * candidate count).
+      uint64_t candidate_estimates = 0;
+      /// Winner changes after the initial selection.
+      uint64_t switches = 0;
+      /// Cumulative per-candidate estimate latency, ms — telemetry, only
+      /// populated when EnsembleOptions::latency_clock_ms is set.
+      std::vector<double> candidate_latency_ms;
+      /// Ticks each candidate spent as the selected winner.
+      std::vector<uint64_t> selected_ticks;
+    };
+    Stats stats;
+
+   private:
+    friend class EnsembleEstimator;
+    const EnsembleEstimator* owner = nullptr;
+    std::vector<ProgressEstimator::Workspace> candidate_ws;
+    std::vector<ProgressReport> candidate_report;
+    std::vector<CandidateScore> score;
+    std::vector<double> score_value;     ///< per-call scratch
+    std::vector<double> median_scratch;  ///< per-call consensus sort buffer
+    HysteresisSelector selector;
+  };
+
+  /// Builds one candidate estimator per entry of options.candidates (the
+  /// default pool when empty). `plan` and `catalog` must outlive the
+  /// ensemble.
+  EnsembleEstimator(const Plan* plan, const Catalog* catalog,
+                    EnsembleOptions options);
+
+  /// Runs every candidate on `snapshot` through its per-candidate
+  /// workspace, updates the scores and the hysteresis selection, and fills
+  /// `*report` (vectors are re-sized in place, reusing capacity).
+  /// LQS_NOALLOC: steady-state ensemble ticks must stay heap-free —
+  /// statically checked by tools/lqs_verify (noalloc), dynamically by
+  /// tests/estimator_alloc_test.cc. LQS_DETERMINISTIC: the report depends
+  /// only on the sequence of snapshots fed to this workspace, never on
+  /// wall-clock time or threads (the optional latency clock feeds
+  /// Workspace::Stats telemetry only, the same carve-out as
+  /// MonitorService::ComputeStatus); with a single candidate the selected
+  /// report is bit-identical to that candidate's plain EstimateInto for
+  /// any replay order.
+  LQS_NOALLOC LQS_DETERMINISTIC void EstimateInto(
+      const ProfileSnapshot& snapshot, Workspace* workspace,
+      EnsembleReport* report) const;
+
+  int candidate_count() const { return static_cast<int>(candidates_.size()); }
+  const EnsembleCandidate& candidate(int index) const {
+    return options_.candidates[static_cast<size_t>(index)];
+  }
+  const ProgressEstimator& candidate_estimator(int index) const {
+    return *candidates_[static_cast<size_t>(index)];
+  }
+  const EnsembleOptions& options() const { return options_; }
+  const Plan& plan() const { return *plan_; }
+
+ private:
+  /// Sizes the workspace (candidate workspaces, rings, report vectors) on
+  /// first use and pins it to this ensemble.
+  LQS_ALLOC_OK(
+      "first-call sizing path: allocates exactly once per workspace "
+      "binding, a no-op on every steady-state call (owner check at entry)")
+  void PrepareWorkspace(Workspace* ws) const;
+
+  const Plan* plan_;
+  const Catalog* catalog_;
+  EnsembleOptions options_;
+  std::vector<std::unique_ptr<ProgressEstimator>> candidates_;
+};
+
+}  // namespace lqs
+
+#endif  // LQS_ENSEMBLE_ENSEMBLE_H_

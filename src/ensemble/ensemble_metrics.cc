@@ -1,0 +1,62 @@
+#include "ensemble/ensemble_metrics.h"
+
+#include <cmath>
+
+namespace lqs {
+
+namespace {
+
+/// GetNext-model progress with exact cardinalities — the same §5
+/// Error_count reference term EvaluateQuery uses.
+double TrueCountProgress(const ProfileSnapshot& snap,
+                         const ProfileSnapshot& final_snap) {
+  double sum_k = 0;
+  double sum_n = 0;
+  for (size_t i = 0; i < snap.operators.size(); ++i) {
+    sum_k += static_cast<double>(snap.operators[i].row_count);
+    sum_n += static_cast<double>(final_snap.operators[i].row_count);
+  }
+  return sum_n > 0 ? sum_k / sum_n : 1.0;
+}
+
+}  // namespace
+
+EnsembleEvaluation EvaluateEnsemble(const Plan& plan, const Catalog& catalog,
+                                    const ProfileTrace& trace,
+                                    const EnsembleOptions& options) {
+  EnsembleEvaluation eval;
+  EnsembleEstimator ensemble(&plan, &catalog, options);
+  const ProfileSnapshot& final_snap = trace.final_snapshot;
+  const double total = trace.total_elapsed_ms;
+
+  // One workspace + report across the whole replay: the loop body reuses
+  // their buffers instead of reallocating per snapshot.
+  EnsembleEstimator::Workspace workspace;
+  EnsembleReport report;
+  for (const ProfileSnapshot& snap : trace.snapshots) {
+    ensemble.EstimateInto(snap, &workspace, &report);
+    const double true_count = TrueCountProgress(snap, final_snap);
+    const double time_frac = total > 0 ? snap.time_ms / total : 1.0;
+
+    eval.error_count += std::abs(report.query_progress - true_count);
+    eval.error_time += std::abs(report.query_progress - time_frac);
+    eval.band_width += report.band_hi - report.band_lo;
+    if (time_frac >= report.band_lo && time_frac <= report.band_hi) {
+      eval.band_coverage += 1;
+    }
+    eval.observations++;
+    eval.final_winner = report.winner;
+  }
+
+  if (eval.observations > 0) {
+    eval.error_count /= eval.observations;
+    eval.error_time /= eval.observations;
+    eval.band_width /= eval.observations;
+    eval.band_coverage /= eval.observations;
+  }
+  eval.switches = workspace.stats.switches;
+  eval.selected_ticks = workspace.stats.selected_ticks;
+  return eval;
+}
+
+}  // namespace lqs

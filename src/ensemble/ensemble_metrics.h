@@ -1,0 +1,45 @@
+#ifndef LQS_ENSEMBLE_ENSEMBLE_METRICS_H_
+#define LQS_ENSEMBLE_ENSEMBLE_METRICS_H_
+
+#include "dmv/query_profile.h"
+#include "ensemble/ensemble.h"
+#include "exec/plan.h"
+#include "lqs/metrics.h"
+#include "storage/catalog.h"
+
+namespace lqs {
+
+/// §5-style error metrics for one query's trace replayed through the
+/// ensemble, plus ensemble-specific diagnostics. Mirrors EvaluateQuery for
+/// the query-level terms so ensemble numbers are directly comparable with
+/// the fixed-preset numbers from lqs/metrics.h.
+struct EnsembleEvaluation {
+  /// Error_count / Error_time of the ensemble's headline progress,
+  /// averaged over the trace's observations (same definitions as
+  /// QueryEvaluation).
+  double error_count = 0;
+  double error_time = 0;
+  int observations = 0;
+  /// Winner changes over the replay (hysteresis quality signal).
+  uint64_t switches = 0;
+  /// Candidate selected at the end of the replay.
+  int final_winner = -1;
+  /// Fraction of observations where the true time-fraction progress lay
+  /// inside [band_lo, band_hi] (uncertainty-band calibration).
+  double band_coverage = 0;
+  /// Average band width across observations.
+  double band_width = 0;
+  /// Ticks each candidate spent selected, indexed like the candidate pool.
+  std::vector<uint64_t> selected_ticks;
+};
+
+/// Replays `trace` through an EnsembleEstimator built from `options` and
+/// computes the metrics above. The true reference terms come from the
+/// trace's final snapshot, exactly like EvaluateQuery.
+EnsembleEvaluation EvaluateEnsemble(const Plan& plan, const Catalog& catalog,
+                                    const ProfileTrace& trace,
+                                    const EnsembleOptions& options);
+
+}  // namespace lqs
+
+#endif  // LQS_ENSEMBLE_ENSEMBLE_METRICS_H_

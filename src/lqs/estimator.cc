@@ -67,6 +67,60 @@ EstimatorOptions EstimatorOptions::Lqs() {
   return o;
 }
 
+const char* EstimatorOptions::PresetName(int index) {
+  static constexpr const char* kNames[kPresetCount] = {"tgn", "bounding",
+                                                       "refined", "lqs"};
+  if (index < 0 || index >= kPresetCount) {
+    std::fprintf(stderr,
+                 "EstimatorOptions::PresetName: index %d out of range "
+                 "[0, %d)\n",
+                 index, kPresetCount);
+    std::abort();
+  }
+  return kNames[index];
+}
+
+EstimatorOptions EstimatorOptions::PresetByIndex(int index) {
+  switch (index) {
+    case 0: return TotalGetNext();
+    case 1: return BoundingOnly();
+    case 2: return DriverNodeRefined();
+    case 3: return Lqs();
+    default: break;
+  }
+  std::fprintf(stderr,
+               "EstimatorOptions::PresetByIndex: index %d out of range "
+               "[0, %d)\n",
+               index, kPresetCount);
+  std::abort();
+}
+
+bool EstimatorOptions::PresetFromName(std::string_view name,
+                                      EstimatorOptions* out) {
+  for (int i = 0; i < kPresetCount; ++i) {
+    if (name == PresetName(i)) {
+      *out = PresetByIndex(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t EstimatorOptions::PackBits() const {
+  uint64_t bits = 0;
+  int shift = 0;
+  for (bool flag :
+       {use_driver_nodes, refine_cardinality, bound_cardinality,
+        semi_blocking_adjust, two_phase_blocking, use_weights,
+        critical_path_only, storage_predicate_io, batch_mode_segments,
+        interpolate_refinement, propagate_refinement, incremental,
+        ensemble}) {
+    if (flag) bits |= uint64_t{1} << shift;
+    ++shift;
+  }
+  return bits | (refine_min_rows << 16);
+}
+
 ProgressEstimator::ProgressEstimator(const Plan* plan, const Catalog* catalog,
                                      EstimatorOptions options)
     : plan_(plan), catalog_(catalog), options_(options),
@@ -609,9 +663,12 @@ void ProgressEstimator::PipelineWeightsInto(const std::vector<double>& n_hat,
 
 ProgressReport ProgressEstimator::Estimate(
     const ProfileSnapshot& snapshot) const {
-  Workspace workspace;
+  // The internal workspace binds on the first call and is reused after, so
+  // repeated one-shot calls allocate only for the returned report. This is
+  // the single-owner consequence documented in the header: concurrent
+  // Estimate() on a shared estimator would race on estimate_workspace_.
   ProgressReport report;
-  EstimateInto(snapshot, &workspace, &report);
+  EstimateInto(snapshot, &estimate_workspace_, &report);
   return report;
 }
 

@@ -2,6 +2,7 @@
 #define LQS_LQS_ESTIMATOR_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/deterministic.h"
@@ -61,6 +62,15 @@ struct EstimatorOptions {
   /// (enforced by tests/estimator_workspace_test.cc); the flag exists so
   /// bench/estimator_throughput can measure both cost profiles in one run.
   bool incremental = true;
+  /// Monitor-layer mode switch, not an estimation technique: a session
+  /// registered with this set runs the robust EnsembleEstimator
+  /// (src/ensemble/) over the default candidate set — all four presets
+  /// below plus parameter variants — instead of one estimator built from
+  /// the flags above. Only `incremental` is forwarded to the candidates;
+  /// the other flags are ignored in ensemble mode. Packed as cache-key
+  /// bit 12 so ensemble and single-estimator sessions never alias one
+  /// monitor cache slot.
+  bool ensemble = false;
   /// Guard (§4.1): minimum observed rows before refinement engages.
   uint64_t refine_min_rows = 30;
 
@@ -73,6 +83,27 @@ struct EstimatorOptions {
   static EstimatorOptions DriverNodeRefined();
   /// Everything on — the shipping LQS configuration.
   static EstimatorOptions Lqs();
+
+  /// Shared preset registry over the four §5 configurations above — the
+  /// one list benches, tests, the monitor cache key and the ensemble
+  /// candidate set all draw from. Indexes are stable and part of the
+  /// bench-output contract: 0="tgn", 1="bounding", 2="refined", 3="lqs".
+  static constexpr int kPresetCount = 4;
+  /// Canonical short name of preset `index`; aborts on an out-of-range
+  /// index (a registry bug, not an input condition).
+  static const char* PresetName(int index);
+  /// The preset options for `index`; aborts on an out-of-range index.
+  static EstimatorOptions PresetByIndex(int index);
+  /// Parses a canonical preset name; returns false and leaves `*out`
+  /// untouched on an unknown name.
+  static bool PresetFromName(std::string_view name, EstimatorOptions* out);
+
+  /// Packs every option field into one integer: two option sets pack
+  /// equal iff they configure identical behaviour. The monitor's
+  /// estimator-cache key and the ensemble cache key are built from this,
+  /// so any new option MUST be packed here too — an unpacked flag would
+  /// alias distinct configurations onto one cached estimator.
+  uint64_t PackBits() const;
 };
 
 /// Progress output for one DMV snapshot.
@@ -148,11 +179,18 @@ class ProgressEstimator {
   ProgressEstimator(const Plan* plan, const Catalog* catalog,
                     EstimatorOptions options);
 
-  /// Computes query and operator progress from one DMV snapshot. Stateless
-  /// across calls (all state is in the snapshot), so snapshots may be
-  /// replayed in any order. Thin compatibility wrapper over EstimateInto
-  /// with a fresh Workspace — one-shot callers keep this; anything that
-  /// estimates in a loop should hold a Workspace and use EstimateInto.
+  /// Computes query and operator progress from one DMV snapshot. Output is
+  /// stateless (all estimation state is in the snapshot), so snapshots may
+  /// be replayed in any order. Thin compatibility wrapper over EstimateInto
+  /// against a lazily-initialized internal Workspace, so one-shot callers
+  /// stay off the hot-path allocation counter instead of constructing
+  /// scratch per call.
+  ///
+  /// Single-owner consequence: because the internal workspace is shared by
+  /// every Estimate() call on this estimator, concurrent Estimate() calls
+  /// on one shared estimator are NOT safe. Concurrent callers must each
+  /// hold their own Workspace and use EstimateInto — exactly how
+  /// MonitorService shares one cached estimator across parallel sessions.
   ProgressReport Estimate(const ProfileSnapshot& snapshot) const;
 
   /// Allocation-free form of Estimate: writes the report into `*report`
@@ -250,6 +288,11 @@ class ProgressEstimator {
   EstimatorOptions options_;
   PlanAnalysis analysis_;
   const CostFeedback* feedback_ = nullptr;
+  /// Scratch behind the Estimate() compatibility wrapper, sized lazily on
+  /// its first call. This is what makes concurrent Estimate() on a shared
+  /// estimator unsafe (see the wrapper's contract above); EstimateInto
+  /// never touches it.
+  mutable Workspace estimate_workspace_;
 };
 
 }  // namespace lqs

@@ -16,6 +16,7 @@
 #include "common/noalloc.h"
 #include "common/thread_annotations.h"
 #include "dmv/query_profile.h"
+#include "ensemble/ensemble.h"
 #include "exec/plan.h"
 #include "lqs/estimator.h"
 #include "monitor/latency_reservoir.h"
@@ -85,6 +86,19 @@ struct SessionStatus {
   /// old.
   bool degraded = false;
   int consecutive_failures = 0;
+
+  // --- Ensemble view (EstimatorOptions::ensemble sessions only) ---
+  /// True when the session runs the robust EnsembleEstimator instead of a
+  /// single configuration; `report` then holds the selected candidate's
+  /// full report and `progress` the ensemble's headline progress.
+  bool ensemble = false;
+  /// Selected candidate (index + name in the ensemble's candidate pool).
+  int ensemble_winner = -1;
+  const char* ensemble_winner_name = "";
+  /// Uncertainty band across the trusted candidates, [0, 1]; always
+  /// brackets `progress`. Zero-width for non-ensemble sessions.
+  double band_lo = 0;
+  double band_hi = 0;
 };
 
 /// Aggregate counters across the life of one MonitorService.
@@ -148,6 +162,26 @@ struct MonitorStats {
   uint64_t deltas_applied = 0;
   uint64_t delta_resyncs = 0;
   uint64_t request_id_mismatches = 0;
+
+  // --- Ensemble aggregates (EstimatorOptions::ensemble sessions only) ---
+  size_t ensemble_sessions = 0;
+  /// Distinct cached EnsembleEstimators (own cache beside the estimator
+  /// cache, keyed the same way).
+  size_t ensembles_cached = 0;
+  /// Candidate EstimateInto calls issued by ensemble sessions (candidate
+  /// count × ensemble estimates).
+  uint64_t ensemble_candidate_estimates = 0;
+  /// Winner changes across all ensemble sessions (hysteresis flap gauge).
+  uint64_t ensemble_switches = 0;
+  /// Per-candidate aggregates summed over ensemble sessions, indexed like
+  /// the candidate pool (names resolve the indexes). Empty until the first
+  /// ensemble estimate.
+  std::vector<std::string> ensemble_candidate_names;
+  /// Cumulative per-candidate estimate latency (the per-candidate cost
+  /// split of the ensemble's estimate_wall share).
+  std::vector<double> ensemble_candidate_latency_ms;
+  /// Ticks each candidate spent as some session's selected winner.
+  std::vector<uint64_t> ensemble_selected_ticks;
 };
 
 /// Owns many concurrently-monitored query sessions and replays their DMV
@@ -159,9 +193,13 @@ struct MonitorStats {
 /// offset on the shared timeline. Tick(t) computes a ProgressReport for
 /// every session active at time t on a worker pool, one estimator call per
 /// session; estimators are cached per distinct (plan, catalog, options) and
-/// shared across sessions (ProgressEstimator::Estimate is const and
-/// stateless, so concurrent use is safe), while the per-session
-/// ProgressInvariantChecker state stays private to its session.
+/// shared across sessions — safely, because estimators are const after
+/// construction and every session drives EstimateInto through its own
+/// private Workspace — while the per-session ProgressInvariantChecker state
+/// stays private to its session. Sessions registered with
+/// EstimatorOptions::ensemble run a cached EnsembleEstimator (every preset
+/// at once, online selection + uncertainty band) under the same sharing
+/// rule.
 ///
 /// Determinism contract: results depend only on the registered sessions and
 /// the tick times, never on options.num_threads or scheduling. Work is
@@ -275,15 +313,37 @@ class MonitorService {
     /// exactly one pool worker per tick and ticks are ordered by the
     /// ParallelFor barrier (the same ownership rule as `checker`/`client`).
     ProgressEstimator::Workspace workspace;
+    /// Ensemble-mode sessions estimate through this instead of `estimator`
+    /// (which is then null). Same cache-shared/const + per-session-workspace
+    /// split as the plain path. `ensemble_report` is the session-owned
+    /// output buffer, reused across ticks so the ensemble's per-candidate
+    /// vectors never reallocate in steady state. Ensemble sessions carry no
+    /// ProgressInvariantChecker: a winner switch may legitimately move
+    /// refined cardinalities non-monotonically between ticks (each
+    /// candidate is individually monotone, the selection is not), so the
+    /// per-estimator invariants don't apply — the ensemble's own
+    /// invariants (band brackets selection, band within [0,1]) are
+    /// enforced by tests/ensemble_test.cc instead.
+    const EnsembleEstimator* ensemble = nullptr;  // owned by ensemble_cache_
+    EnsembleEstimator::Workspace ensemble_workspace;
+    EnsembleReport ensemble_report;
   };
 
   /// Cache key: estimator identity is the plan + catalog + the full option
-  /// set, packed to an integer (all fields are flags plus one threshold).
+  /// set, packed to an integer via EstimatorOptions::PackBits (all fields
+  /// are flags plus one threshold; the ensemble mode flag is one of the
+  /// packed bits, so ensemble and single-estimator sessions never alias a
+  /// cache slot).
   using EstimatorKey = std::tuple<const Plan*, const Catalog*, uint64_t>;
-  static uint64_t PackOptions(const EstimatorOptions& options);
   const ProgressEstimator* CachedEstimator(const Plan* plan,
                                            const Catalog* catalog,
                                            const EstimatorOptions& options);
+  /// Ensemble twin of CachedEstimator: one shared EnsembleEstimator per
+  /// (plan, catalog, packed options). Only `incremental` of the session's
+  /// options reaches the candidates (see EstimatorOptions::ensemble).
+  const EnsembleEstimator* CachedEnsemble(const Plan* plan,
+                                          const Catalog* catalog,
+                                          const EstimatorOptions& options);
 
   /// Computes one session's status at `now_ms` (runs on a pool worker).
   /// LQS_NOALLOC: this is the steady-state body of Tick() — one call per
@@ -304,6 +364,13 @@ class MonitorService {
   /// estimates off whatever snapshot the link yielded.
   void ComputeRemoteStatus(Session* session, SessionStatus* out,
                            double* latency_ms);
+  /// Shared estimate tail of the local and remote arms: dispatches to the
+  /// ensemble / checked / plain estimator against `out->snapshot` (must be
+  /// non-null) and stamps `*latency_ms`. Inherits ComputeStatus's noalloc
+  /// and determinism obligations transitively (it is only reachable from
+  /// that root).
+  void EstimateSession(Session* session, SessionStatus* out,
+                       double* latency_ms);
 
   const MonitorOptions options_;
   /// Internally synchronized (owns its own kThreadPool lock); fanned out to
@@ -317,6 +384,8 @@ class MonitorService {
   std::vector<Session> sessions_;
   // lqs-verify: guard-ok(driver-owned; stats() reads guarded mirrors)
   std::map<EstimatorKey, std::unique_ptr<ProgressEstimator>> estimator_cache_;
+  // lqs-verify: guard-ok(driver-owned; stats() reads guarded mirrors)
+  std::map<EstimatorKey, std::unique_ptr<EnsembleEstimator>> ensemble_cache_;
 
   /// Guards the counters behind stats(). The driver updates them at
   /// registration and once per tick after the ParallelFor barrier (never
@@ -349,6 +418,17 @@ class MonitorService {
   /// barrier from the per-session clients and published here for stats().
   size_t last_degraded_ LQS_GUARDED_BY(stats_mu_) = 0;
   ClientStats transport_totals_ LQS_GUARDED_BY(stats_mu_);
+  /// Ensemble aggregates, recomputed from the per-session ensemble
+  /// workspaces under the same post-barrier quiescence rule.
+  size_t ensemble_sessions_ LQS_GUARDED_BY(stats_mu_) = 0;
+  size_t ensembles_cached_ LQS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t ensemble_candidate_estimates_ LQS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t ensemble_switches_ LQS_GUARDED_BY(stats_mu_) = 0;
+  std::vector<std::string> ensemble_candidate_names_
+      LQS_GUARDED_BY(stats_mu_);
+  std::vector<double> ensemble_candidate_latency_ms_
+      LQS_GUARDED_BY(stats_mu_);
+  std::vector<uint64_t> ensemble_selected_ticks_ LQS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace lqs

@@ -32,10 +32,14 @@ struct Preset {
 };
 
 std::vector<Preset> AllPresets() {
-  return {{"tgn", EstimatorOptions::TotalGetNext()},
-          {"bounding_only", EstimatorOptions::BoundingOnly()},
-          {"refined", EstimatorOptions::DriverNodeRefined()},
-          {"lqs", EstimatorOptions::Lqs()}};
+  // Drawn from the shared registry so the coverage here can never drift
+  // from the preset set the estimator actually ships.
+  std::vector<Preset> presets;
+  for (int i = 0; i < EstimatorOptions::kPresetCount; ++i) {
+    presets.push_back(
+        {EstimatorOptions::PresetName(i), EstimatorOptions::PresetByIndex(i)});
+  }
+  return presets;
 }
 
 /// Exact comparison, field by field. EXPECT_EQ on doubles is deliberate:

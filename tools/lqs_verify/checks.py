@@ -190,11 +190,22 @@ class _Visibility:
 
 _PAIRED = re.compile(r"LQS_NOALLOC_PAIRED:\s*([A-Za-z_][\w:]*)")
 
+# Functions whose allocation-freedom the acceptance criteria rely on (zero
+# steady-state allocations per estimate / ensemble tick). A whole-tree run
+# fails if any of these loses its LQS_NOALLOC marker — the symmetric
+# guarantee to REQUIRED_DETERMINISTIC below.
+REQUIRED_NOALLOC: Tuple[str, ...] = (
+    "ProgressEstimator::EstimateInto",
+    "EnsembleEstimator::EstimateInto",
+)
+
 
 def check_noalloc(model: SourceModel,
                   pairing_file: Optional[str] = None,
                   pairing_text: Optional[str] = None,
-                  root: Optional[str] = None) -> List[Finding]:
+                  root: Optional[str] = None,
+                  required: Optional[Tuple[str, ...]] = None
+                  ) -> List[Finding]:
     """Transitive call-graph allocation-freedom of LQS_NOALLOC functions.
 
     From every definition whose qualified name carries LQS_NOALLOC, walk all
@@ -207,12 +218,30 @@ def check_noalloc(model: SourceModel,
 
     With a pairing file (tests/estimator_alloc_test.cc), additionally
     cross-checks the LQS_NOALLOC annotation set against the runtime test's
-    `LQS_NOALLOC_PAIRED:` markers, in both directions.
+    `LQS_NOALLOC_PAIRED:` markers, in both directions. With `required`
+    (whole-tree runs pass REQUIRED_NOALLOC), each listed root must carry
+    its LQS_NOALLOC marker.
     """
     findings: List[Finding] = []
     annotations = _merge_annotations(model)
     defs_by_name = model.definitions_by_name()
     visibility = _Visibility(model, root) if root is not None else None
+
+    if required:
+        decl_of: Dict[str, Tuple[str, int]] = {}
+        for fn in model.functions:
+            decl_of.setdefault(fn.qualname, (fn.file, fn.line))
+        for name in required:
+            ann = annotations.get(name)
+            if ann is not None and ann.noalloc:
+                continue
+            file, line = (ann.decl_site if ann is not None and ann.decl_site
+                          else decl_of.get(name, ("<tree>", 0)))
+            findings.append(
+                Finding(
+                    "noalloc", file, line,
+                    f"required noalloc root '{name}' is missing its "
+                    "LQS_NOALLOC marker"))
 
     # Escape hatches with empty justifications (function-level).
     for qualname, ann in sorted(annotations.items()):
@@ -361,11 +390,13 @@ DEFAULT_LAYERS: Dict[str, Set[str]] = {
     "exec": {"common", "dmv", "storage"},
     "optimizer": {"common", "dmv", "exec", "storage"},
     "lqs": {"common", "dmv", "exec", "storage"},
+    "ensemble": {"common", "dmv", "exec", "storage", "lqs"},
     "analysis": {"common", "dmv", "exec", "storage", "lqs"},
     "remote": {"common", "dmv", "exec", "storage"},
     "workload": {"common", "dmv", "exec", "optimizer", "storage"},
     "monitor": {
-        "common", "dmv", "exec", "storage", "lqs", "analysis", "remote"
+        "common", "dmv", "exec", "storage", "lqs", "ensemble", "analysis",
+        "remote"
     },
 }
 
@@ -769,6 +800,7 @@ def check_locks(model: SourceModel, root: str) -> List[Finding]:
 # of these loses its LQS_DETERMINISTIC marker.
 REQUIRED_DETERMINISTIC: Tuple[str, ...] = (
     "ProgressEstimator::EstimateInto",
+    "EnsembleEstimator::EstimateInto",
     "EncodeSnapshot",
     "DecodeSnapshot",
     "EncodeTrace",

@@ -153,9 +153,11 @@ def run(argv: Optional[List[str]] = None) -> int:
                                            "estimator_alloc_test.cc")
             if os.path.exists(default_pairing):
                 pairing_file = default_pairing
+        # Required-root presence is a whole-tree property, like determinism.
         findings.extend(checks.check_noalloc(
             model, pairing_file=None if args.no_pairing else pairing_file,
-            root=root))
+            root=root,
+            required=None if args.files else checks.REQUIRED_NOALLOC))
     if "layering" in enabled:
         findings.extend(checks.check_layering(model, root))
     if "locks" in enabled:

@@ -155,6 +155,7 @@ class PairingTest(unittest.TestCase):
     HEADERS = [
         os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
         os.path.join(REPO_ROOT, "src", "lqs", "bounds.h"),
+        os.path.join(REPO_ROOT, "src", "ensemble", "ensemble.h"),
         os.path.join(REPO_ROOT, "src", "monitor", "monitor_service.h"),
     ]
     PAIRING = os.path.join(REPO_ROOT, "tests", "estimator_alloc_test.cc")
@@ -420,6 +421,7 @@ class DeterminismRequiredRootsTest(unittest.TestCase):
 
     HEADERS = [
         os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
+        os.path.join(REPO_ROOT, "src", "ensemble", "ensemble.h"),
         os.path.join(REPO_ROOT, "src", "remote", "wire.h"),
         os.path.join(REPO_ROOT, "src", "monitor", "monitor_service.h"),
     ]
@@ -475,6 +477,73 @@ class DeterminismRequiredRootsTest(unittest.TestCase):
         self.assertEqual(len(findings), 1,
                          [f.render() for f in findings])
         self.assertIn("MonitorService::ComputeStatus",
+                      findings[0].message)
+
+    def test_reverting_the_ensemble_marker_is_a_finding(self):
+        findings = self.findings_with(self.strip_marker(
+            "ensemble.h",
+            "LQS_NOALLOC LQS_DETERMINISTIC void EstimateInto",
+            "LQS_NOALLOC void EstimateInto"))
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("EnsembleEstimator::EstimateInto",
+                      findings[0].message)
+
+
+class NoallocRequiredRootsTest(unittest.TestCase):
+    """The LQS_NOALLOC required-root contract, symmetric to the
+    determinism one: the zero-allocation estimate paths keep their
+    markers, and reverting one is a finding on whole-tree runs."""
+
+    HEADERS = [
+        os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
+        os.path.join(REPO_ROOT, "src", "ensemble", "ensemble.h"),
+    ]
+
+    def findings_with(self, read_text=None):
+        model, errors = frontend_lite.parse_files(list(self.HEADERS),
+                                                  read_text=read_text)
+        self.assertEqual(errors, [])
+        # No pairing file here: this exercises the required-root half of
+        # check_noalloc in isolation (PairingTest covers the other half).
+        return checks.check_noalloc(
+            model, required=checks.REQUIRED_NOALLOC)
+
+    def strip_marker(self, suffix, before, after):
+        def read_text(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            if path.endswith(suffix):
+                new = text.replace(before, after)
+                assert new != text, f"revert pattern missed in {suffix}"
+                return new
+            return text
+        return read_text
+
+    def test_every_required_root_is_marked(self):
+        findings = self.findings_with()
+        self.assertEqual(findings, [], [f.render() for f in findings])
+
+    def test_reverting_the_estimator_marker_is_a_finding(self):
+        findings = self.findings_with(self.strip_marker(
+            "estimator.h",
+            "LQS_NOALLOC LQS_DETERMINISTIC void EstimateInto",
+            "LQS_DETERMINISTIC void EstimateInto"))
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("missing its LQS_NOALLOC marker",
+                      findings[0].message)
+        self.assertIn("ProgressEstimator::EstimateInto",
+                      findings[0].message)
+
+    def test_reverting_the_ensemble_marker_is_a_finding(self):
+        findings = self.findings_with(self.strip_marker(
+            "ensemble.h",
+            "LQS_NOALLOC LQS_DETERMINISTIC void EstimateInto",
+            "LQS_DETERMINISTIC void EstimateInto"))
+        self.assertEqual(len(findings), 1,
+                         [f.render() for f in findings])
+        self.assertIn("EnsembleEstimator::EstimateInto",
                       findings[0].message)
 
 
@@ -549,16 +618,22 @@ class FrontendAgreementTest(unittest.TestCase):
 class LayeringFixtureTest(unittest.TestCase):
     ROOT = os.path.join(TESTDATA, "layering")
 
-    def test_upward_include_is_the_only_finding(self):
+    def test_seeded_upward_includes_are_the_only_findings(self):
         files = files_under(self.ROOT)
         findings = checks.check_layering(parse(*files), self.ROOT)
-        self.assertEqual(len(findings), 1,
+        self.assertEqual(len(findings), 2,
                          [f.render() for f in findings])
+        by_file = {f.file: f for f in findings}
         bad = os.path.join(self.ROOT, "src", "common", "clock.h")
-        self.assertEqual(findings[0].file, bad)
-        self.assertEqual(findings[0].line, line_of(bad, "lqs/progress.h"))
+        self.assertEqual(by_file[bad].line, line_of(bad, "lqs/progress.h"))
         self.assertIn("may not include 'lqs/progress.h'",
-                      findings[0].message)
+                      by_file[bad].message)
+        # The ensemble layer may reach down to lqs/ (that include is clean)
+        # but not up to monitor/.
+        ens = os.path.join(self.ROOT, "src", "ensemble", "robust.h")
+        self.assertEqual(by_file[ens].line, line_of(ens, "monitor/service.h"))
+        self.assertIn("may not include 'monitor/service.h'",
+                      by_file[ens].message)
 
 
 class CycleFixtureTest(unittest.TestCase):

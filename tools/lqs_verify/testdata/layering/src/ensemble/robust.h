@@ -1,0 +1,14 @@
+// Layering fixture: ensemble/ may depend on lqs/ (clean include below) but
+// monitor/ sits above it — that include is the seeded violation checking
+// the ensemble layer entry in the DAG.
+#ifndef FIXTURE_ENSEMBLE_ROBUST_H_
+#define FIXTURE_ENSEMBLE_ROBUST_H_
+
+#include "lqs/progress.h"
+#include "monitor/service.h"  // VIOLATION: ensemble -> monitor is upward
+
+namespace fixture {
+double RobustProgress();
+}  // namespace fixture
+
+#endif  // FIXTURE_ENSEMBLE_ROBUST_H_

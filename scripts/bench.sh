@@ -8,16 +8,19 @@
 #   $ scripts/bench.sh
 #
 # Output: BENCH_estimator.json, BENCH_remote.json, BENCH_monitor_scale.json,
-# and BENCH_ensemble.json in the repo root (override the directory with
-# BENCH_OUT_DIR). Build directory: build-bench (override with
+# BENCH_ensemble.json, and BENCH_bounds.json in the repo root (override the
+# directory with BENCH_OUT_DIR). Build directory: build-bench (override with
 # BENCH_BUILD_DIR). CI runs this as a non-gating artifact step — numbers are
 # tracked, not asserted — but estimator_throughput exits non-zero if the
 # fresh and workspace-reusing modes ever diverge, monitor_scale --sweep
 # exits non-zero if a sharded run wedges, regresses per-session progress, or
 # the delta transport falls under its 3x bytes-per-session reduction floor,
-# and ensemble_accuracy exits non-zero if the ensemble's Error_time falls
-# outside [better than worst fixed preset, 1.1x best fixed preset]; those
-# correctness failures do gate.
+# ensemble_accuracy exits non-zero if the ensemble's Error_time falls
+# outside [better than worst fixed preset, 1.1x best fixed preset],
+# table1_bounds exits non-zero on any bound-soundness violation, and
+# bounds_tightness exits non-zero if intersecting LpBound with Appendix A
+# inverts any interval or regresses Error_time; those correctness failures
+# do gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +30,7 @@ OUT_DIR="${BENCH_OUT_DIR:-.}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target estimator_throughput wire_throughput monitor_scale \
-  ensemble_accuracy
+  ensemble_accuracy table1_bounds bounds_tightness
 
 # run_family OUT_FILE BENCH...: runs each bench command, echoes its
 # deterministic lines, and writes the "BENCH {...}" payloads to OUT_FILE.
@@ -70,3 +73,7 @@ run_family "$OUT_DIR/BENCH_monitor_scale.json" \
 
 run_family "$OUT_DIR/BENCH_ensemble.json" \
   "$BUILD_DIR/bench/ensemble_accuracy"
+
+run_family "$OUT_DIR/BENCH_bounds.json" \
+  "$BUILD_DIR/bench/table1_bounds" \
+  "$BUILD_DIR/bench/bounds_tightness"

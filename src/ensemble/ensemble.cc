@@ -41,6 +41,16 @@ std::vector<EnsembleCandidate> DefaultEnsembleCandidates() {
   EstimatorOptions refined_weighted = EstimatorOptions::DriverNodeRefined();
   refined_weighted.use_weights = true;
   out.push_back({"refined_weighted", refined_weighted});
+  // LpBound-intersected clamp variants (registry `_lp` names): same
+  // estimation techniques, but the online clamp corridor additionally runs
+  // the ℓp-norm bounding engine — the tighter clamp wins exactly on the
+  // misestimated-join workloads where Appendix A's corridor is vacuous.
+  EstimatorOptions lqs_lp = EstimatorOptions::Lqs();
+  lqs_lp.bounds_engine = BoundsEngineKind::kIntersect;
+  out.push_back({"lqs_lp", lqs_lp});
+  EstimatorOptions refined_lp = EstimatorOptions::DriverNodeRefined();
+  refined_lp.bounds_engine = BoundsEngineKind::kIntersect;
+  out.push_back({"refined_lp", refined_lp});
   return out;
 }
 

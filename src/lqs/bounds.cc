@@ -1,6 +1,7 @@
 #include "lqs/bounds.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace lqs {
@@ -188,13 +189,23 @@ struct BoundsState {
         break;
       }
 
-      // --- Filters / segment / distinct sort:
+      // --- Filters / segment:
       //     LB = K_i; UB = (UB_{i-1} - K_{i-1}) + K_i ---
       case OpType::kFilter:
       case OpType::kSegment:
-      case OpType::kDistinctSort:
         lb = k;
         ub = std::max(0.0, child_ub(0) - child_k(0)) + k;
+        break;
+
+      // Distinct Sort is listed with the filter formula in Table 1, but it
+      // BLOCKS: consumed rows buffer invisibly through the sort phase and
+      // only then deduplicate, so (UB_{i-1} - K_{i-1}) + K_i collapses to
+      // K_i the moment the input is exhausted — unsound until the sort
+      // starts emitting. Like the blocking aggregate below, only the input
+      // cardinality bounds the output.
+      case OpType::kDistinctSort:
+        lb = k;
+        ub = child_ub(0);
         break;
 
       // --- Cardinality-preserving: LB = K_{i-1}; UB = UB_{i-1} ---
@@ -276,10 +287,164 @@ struct BoundsState {
   }
 };
 
+/// 0 * inf would be NaN under IEEE; in a cardinality product a zero factor
+/// means an empty side, so the product is soundly zero.
+double SafeMul(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;  // lint:allow-float-eq
+  return a * b;
+}
+
+/// The LpBound engine (see ComputeLpBoundsInto in bounds.h). Mirrors the
+/// BoundsState recursion shape — children first, NL-inner children pick up
+/// the outer side's upper bound as a rebind multiplier — but derives only
+/// upper bounds, from the degree-norm caps hoisted into the analysis.
+struct LpState {
+  const Plan* plan;
+  const ProfileSnapshot* snapshot;
+  const PlanAnalysis* analysis;
+  const std::vector<uint8_t>* frozen;
+  CardinalityBounds* out;
+
+  double K(int id) const {
+    return static_cast<double>(snapshot->operators[id].row_count);
+  }
+
+  void Compute(const PlanNode& node, double inner_multiplier) {
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (node.type == OpType::kNestedLoopJoin && i == 1) {
+        const double outer_ub = out->upper[node.child(0)->id];
+        Compute(*node.children[i],
+                std::max(1.0, outer_ub) *
+                    (inner_multiplier == kInf ? 1.0 : inner_multiplier));
+      } else {
+        Compute(*node.children[i], inner_multiplier);
+      }
+    }
+
+    const double k = K(node.id);
+    // The observed count is the engine's only lower bound: always sound,
+    // and it guarantees intersection with Appendix A (whose lower bound is
+    // >= K everywhere) can never invert on the lower side.
+    out->lower[node.id] = k;
+    if (frozen != nullptr && (*frozen)[node.id] != 0) {
+      out->upper[node.id] = k;
+      return;
+    }
+    double ub = kInf;
+    if (inner_multiplier <= 1.0) {
+      // The norms cap a single execution; a subtree that may rebind is
+      // declined and left to Appendix A via the intersection.
+      ub = SingleExecutionUpper(node);
+    }
+    if (snapshot->operators[node.id].finished && inner_multiplier <= 1.0) {
+      ub = k;  // end-of-stream outside NL inners: exact
+    }
+    out->upper[node.id] = std::max(ub, k);
+  }
+
+  double SingleExecutionUpper(const PlanNode& node) const {
+    auto child_ub = [&](size_t i) { return out->upper[node.child(i)->id]; };
+    switch (node.type) {
+      // --- Access paths: at most the table (ℓ1 of any degree sequence). ---
+      case OpType::kTableScan:
+      case OpType::kClusteredIndexScan:
+      case OpType::kClusteredIndexSeek:
+      case OpType::kIndexScan:
+      case OpType::kIndexSeek:
+      case OpType::kColumnstoreScan:
+        return analysis->node_statics[node.id].bound_table_rows;
+      case OpType::kRidLookup:
+        return 1.0;
+      case OpType::kConstantScan:
+        return static_cast<double>(node.constant_rows.size());
+
+      case OpType::kHashJoin:
+      case OpType::kMergeJoin:
+      case OpType::kNestedLoopJoin: {
+        const double ub0 = child_ub(0);
+        const double ub1 = child_ub(1);
+        const NodeStatics& s = analysis->node_statics[node.id];
+        // Matching-pair caps: cross product, one ℓ∞ cap per side whose
+        // key degrees resolved to exact base-column norms, and the
+        // Cauchy–Schwarz ℓ2 product when both sides resolved.
+        double pairs = SafeMul(ub0, ub1);
+        if (s.lp_side_valid[0]) pairs = std::min(pairs, SafeMul(ub1, s.lp_linf[0]));
+        if (s.lp_side_valid[1]) pairs = std::min(pairs, SafeMul(ub0, s.lp_linf[1]));
+        if (s.lp_side_valid[0] && s.lp_side_valid[1]) {
+          pairs = std::min(pairs, SafeMul(s.lp_l2[0], s.lp_l2[1]));
+        }
+        // Output per join kind: matched pairs, plus preserved rows for
+        // outer kinds; semi/anti kinds emit preserved-side rows at most
+        // once (and an anti join's output is not bounded by pairs at all).
+        switch (node.join_kind) {
+          case JoinKind::kInner:
+            return pairs;
+          case JoinKind::kLeftOuter:
+            return pairs + ub0;
+          case JoinKind::kRightOuter:
+            return pairs + ub1;
+          case JoinKind::kFullOuter:
+            return pairs + ub0 + ub1;
+          case JoinKind::kLeftSemi:
+            return std::min(pairs, ub0);
+          case JoinKind::kLeftAnti:
+            return ub0;
+          case JoinKind::kRightSemi:
+            return std::min(pairs, ub1);
+        }
+        return kInf;
+      }
+
+      case OpType::kConcatenation: {
+        double sum = 0;
+        for (size_t i = 0; i < node.children.size(); ++i) sum += child_ub(i);
+        return sum;
+      }
+
+      // --- Multiplicity-non-increasing single-input operators. ---
+      case OpType::kFilter:
+      case OpType::kSegment:
+      case OpType::kDistinctSort:
+      case OpType::kSort:
+      case OpType::kComputeScalar:
+      case OpType::kBitmapCreate:
+      case OpType::kGatherStreams:
+      case OpType::kRepartitionStreams:
+      case OpType::kDistributeStreams:
+      case OpType::kEagerSpool:
+      case OpType::kLazySpool:
+        return child_ub(0);
+
+      case OpType::kTop:
+      case OpType::kTopNSort: {
+        const double n =
+            node.top_n >= 0 ? static_cast<double>(node.top_n) : kInf;
+        return std::min(n, child_ub(0));
+      }
+
+      case OpType::kHashAggregate:
+      case OpType::kStreamAggregate:
+        if (node.group_columns.empty()) return 1.0;  // scalar aggregate
+        return child_ub(0);  // at most one row per input row
+
+      case OpType::kNumOpTypes:
+        break;
+    }
+    return kInf;
+  }
+};
+
 }  // namespace
 
 double CardinalityBounds::Clamp(int node_id, double estimate) const {
-  return std::clamp(estimate, lower[node_id], upper[node_id]);
+  const double lo = lower[node_id];
+  const double hi = upper[node_id];
+  // std::clamp propagates NaN estimates and is undefined for an inverted
+  // range; both resolve deterministically to the lower bound — the observed
+  // count, the one value a malformed input cannot poison.
+  if (!(lo <= hi)) return lo;
+  if (std::isnan(estimate)) return lo;
+  return std::clamp(estimate, lo, hi);
 }
 
 CardinalityBounds ComputeBounds(const Plan& plan, const Catalog& catalog,
@@ -302,6 +467,71 @@ void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
   BoundsState st{&plan, &catalog, &snapshot, analysis, frozen, out};
   st.Compute(*plan.root, 1.0, false);
   if (derivations != nullptr) *derivations += st.derivations;
+}
+
+const char* BoundsEngineName(BoundsEngineKind kind) {
+  switch (kind) {
+    case BoundsEngineKind::kAppendixA:
+      return "appendix_a";
+    case BoundsEngineKind::kLpBound:
+      return "lp_bound";
+    case BoundsEngineKind::kIntersect:
+      return "intersect";
+  }
+  return "unknown";
+}
+
+void ComputeLpBoundsInto(const Plan& plan, const ProfileSnapshot& snapshot,
+                         const PlanAnalysis& analysis,
+                         const std::vector<uint8_t>* frozen,
+                         CardinalityBounds* out) {
+  // LQS_ALLOC_OK("sized to the plan on first use; capacity-reusing after")
+  out->lower.assign(plan.size(), 0.0);
+  // LQS_ALLOC_OK("sized to the plan on first use; capacity-reusing after")
+  out->upper.assign(plan.size(), kInf);
+  LpState st{&plan, &snapshot, &analysis, frozen, out};
+  st.Compute(*plan.root, 1.0);
+}
+
+void ComputeBoundsPipelineInto(BoundsEngineKind kind, const Plan& plan,
+                               const Catalog& catalog,
+                               const ProfileSnapshot& snapshot,
+                               const PlanAnalysis* hoisted,
+                               const PlanAnalysis& analysis,
+                               const std::vector<uint8_t>* frozen,
+                               CardinalityBounds* out,
+                               CardinalityBounds* scratch,
+                               BoundsEngineStats* stats) {
+  switch (kind) {
+    case BoundsEngineKind::kAppendixA:
+      ComputeBoundsInto(plan, catalog, snapshot, hoisted, frozen, out,
+                        stats != nullptr ? &stats->derivations : nullptr);
+      return;
+    case BoundsEngineKind::kLpBound:
+      ComputeLpBoundsInto(plan, snapshot, analysis, frozen, out);
+      return;
+    case BoundsEngineKind::kIntersect:
+      break;
+  }
+  ComputeBoundsInto(plan, catalog, snapshot, hoisted, frozen, out,
+                    stats != nullptr ? &stats->derivations : nullptr);
+  ComputeLpBoundsInto(plan, snapshot, analysis, frozen, scratch);
+  for (int id = 0; id < plan.size(); ++id) {
+    const double a_lo = out->lower[id];
+    const double a_up = out->upper[id];
+    const double lo = std::max(a_lo, scratch->lower[id]);
+    const double up = std::min(a_up, scratch->upper[id]);
+    if (std::isnan(lo) || std::isnan(up) || lo > up) {
+      // One engine produced an interval disjoint from the other's — an
+      // unsoundness symptom. Resolve deterministically to the Appendix-A
+      // interval (already in `out`) and surface the event.
+      if (stats != nullptr) ++stats->intersection_inversions;
+      continue;
+    }
+    if (stats != nullptr && up < a_up) ++stats->lp_tightenings;
+    out->lower[id] = lo;
+    out->upper[id] = up;
+  }
 }
 
 }  // namespace lqs

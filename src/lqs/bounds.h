@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deterministic.h"
 #include "common/noalloc.h"
 #include "dmv/query_profile.h"
 #include "exec/plan.h"
@@ -19,7 +20,42 @@ struct CardinalityBounds {
   std::vector<double> upper;  ///< per node id; may be +infinity (spools)
 
   /// Clamps a cardinality estimate for `node_id` into [lower, upper].
+  /// Deterministic under malformed inputs: a NaN estimate clamps to the
+  /// lower bound (the observed count is the only trustworthy value), and an
+  /// inverted range (lower > upper — possible only if an engine produced an
+  /// unsound interval) collapses to the lower bound rather than hitting
+  /// std::clamp's undefined behaviour.
   double Clamp(int node_id, double estimate) const;
+};
+
+/// Which bound derivation(s) the bounding pipeline runs per snapshot.
+/// Selected by EstimatorOptions::bounds_engine (monitor cache-key bits
+/// 13-14), so every engine choice is a distinct cached estimator.
+enum class BoundsEngineKind : uint8_t {
+  /// The paper's Appendix A algebraic derivation (the default; output is
+  /// bit-identical to the pre-pipeline monolithic path).
+  kAppendixA = 0,
+  /// LpBound (arXiv:2502.05912) pessimistic upper bounds from exact
+  /// degree-sequence ℓ∞/ℓ2 norms; lower bounds degrade to the observed K.
+  kLpBound = 1,
+  /// Both engines, intersected per node: max of lowers, min of uppers,
+  /// with an inverted intersection resolving to the Appendix-A interval.
+  kIntersect = 2,
+};
+
+/// Stable display name: "appendix_a", "lp_bound", "intersect".
+const char* BoundsEngineName(BoundsEngineKind kind);
+
+/// Per-call observability counters of the bounds-engine pipeline.
+struct BoundsEngineStats {
+  /// Appendix-A nodes whose coefficients were derived (frozen nodes skip).
+  uint64_t derivations = 0;
+  /// Nodes where the LpBound upper bound strictly tightened Appendix A's
+  /// at intersection.
+  uint64_t lp_tightenings = 0;
+  /// Nodes whose intersection inverted (lower > upper) and fell back to
+  /// the Appendix-A interval.
+  uint64_t intersection_inversions = 0;
 };
 
 /// Computes the Appendix A bounds for every node given the current DMV
@@ -57,6 +93,48 @@ LQS_NOALLOC void ComputeBoundsInto(const Plan& plan, const Catalog& catalog,
                                    const std::vector<uint8_t>* frozen,
                                    CardinalityBounds* out,
                                    uint64_t* derivations);
+
+/// Engine #2: LpBound pessimistic upper bounds (arXiv:2502.05912). For
+/// every node, lower = K_i (the observed count) and upper is derived
+/// bottom-up from the exact degree-sequence norms hoisted into
+/// `analysis.node_statics` (FillDegreeNormStatics): an equijoin's output
+/// cannot exceed min over the valid caps of
+///   UB_outer * UB_inner                      (cross product),
+///   UB_inner * ℓ∞(outer key degrees),        (every inner row matches at
+///   UB_outer * ℓ∞(inner key degrees),         most ℓ∞ rows, and v.v.)
+///   ℓ2(outer) * ℓ2(inner)                    (Cauchy–Schwarz).
+/// Subtrees that may re-execute (rebind multiplier > 1 under a Nested
+/// Loops inner edge) are declined — upper = +infinity — because the norms
+/// cap a single execution only; Appendix A covers those nodes through the
+/// intersection. `analysis` must be the catalog-aware AnalyzePlan result
+/// for this plan. `frozen` follows the ComputeBoundsInto contract.
+/// LQS_NOALLOC + LQS_DETERMINISTIC: per-snapshot hot path, flat-array
+/// reads only (both statically checked by tools/lqs_verify).
+LQS_NOALLOC LQS_DETERMINISTIC void ComputeLpBoundsInto(
+    const Plan& plan, const ProfileSnapshot& snapshot,
+    const PlanAnalysis& analysis, const std::vector<uint8_t>* frozen,
+    CardinalityBounds* out);
+
+/// The bounds-engine pipeline: runs the engine(s) selected by `kind` and
+/// writes the final per-node intervals into `out`.
+///  - kAppendixA: exactly ComputeBoundsInto (bit-identical output).
+///  - kLpBound:   exactly ComputeLpBoundsInto.
+///  - kIntersect: both; per node lower = max of lowers, upper = min of
+///    uppers. An inverted intersection (lower > upper, an unsound-engine
+///    symptom) resolves deterministically to the Appendix-A interval and
+///    is counted in stats->intersection_inversions.
+/// `hoisted` is the optional Appendix-A statics argument (the
+/// ComputeBoundsInto `analysis` parameter, null to read the catalog live);
+/// `analysis` is the always-present catalog-aware analysis the LpBound
+/// engine reads. `scratch` holds the second engine's intervals between the
+/// two passes — per-workspace, so steady state stays allocation-free.
+/// `stats` (optional) accumulates the pipeline counters.
+LQS_NOALLOC LQS_DETERMINISTIC void ComputeBoundsPipelineInto(
+    BoundsEngineKind kind, const Plan& plan, const Catalog& catalog,
+    const ProfileSnapshot& snapshot, const PlanAnalysis* hoisted,
+    const PlanAnalysis& analysis, const std::vector<uint8_t>* frozen,
+    CardinalityBounds* out, CardinalityBounds* scratch,
+    BoundsEngineStats* stats);
 
 }  // namespace lqs
 

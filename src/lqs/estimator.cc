@@ -103,6 +103,19 @@ bool EstimatorOptions::PresetFromName(std::string_view name,
       return true;
     }
   }
+  // "<preset>_lp": the base preset with the LpBound-intersected bounding
+  // engine (see EstimatorOptions::bounds_engine).
+  constexpr std::string_view kLpSuffix = "_lp";
+  if (name.size() > kLpSuffix.size() &&
+      name.substr(name.size() - kLpSuffix.size()) == kLpSuffix) {
+    EstimatorOptions base;
+    if (PresetFromName(name.substr(0, name.size() - kLpSuffix.size()),
+                       &base)) {
+      base.bounds_engine = BoundsEngineKind::kIntersect;
+      *out = base;
+      return true;
+    }
+  }
   return false;
 }
 
@@ -118,6 +131,8 @@ uint64_t EstimatorOptions::PackBits() const {
     if (flag) bits |= uint64_t{1} << shift;
     ++shift;
   }
+  // Bits 13-14: the bounds-engine selector (three engine kinds).
+  bits |= static_cast<uint64_t>(bounds_engine) << 13;
   return bits | (refine_min_rows << 16);
 }
 
@@ -148,6 +163,8 @@ void ProgressEstimator::PrepareWorkspace(Workspace* ws) const {
   ws->weight.assign(np, 0.0);
   ws->bounds.lower.reserve(n);  // sized by ComputeBoundsInto per call
   ws->bounds.upper.reserve(n);
+  ws->lp_bounds.lower.reserve(n);  // second-engine scratch (kIntersect)
+  ws->lp_bounds.upper.reserve(n);
   ws->node_frozen.assign(n, 0);
   ws->pipeline_finished.assign(np, 0);
   ws->weight_frozen.assign(np, 0);
@@ -685,10 +702,16 @@ void ProgressEstimator::EstimateInto(const ProfileSnapshot& snapshot,
 
   const CardinalityBounds* bounds_ptr = nullptr;
   if (options_.bound_cardinality) {
-    ComputeBoundsInto(*plan_, *catalog_, snapshot,
-                      options_.incremental ? &analysis_ : nullptr,
-                      options_.incremental ? &ws->node_frozen : nullptr,
-                      &ws->bounds, &ws->stats.bound_derivations);
+    BoundsEngineStats bstats;
+    ComputeBoundsPipelineInto(options_.bounds_engine, *plan_, *catalog_,
+                              snapshot,
+                              options_.incremental ? &analysis_ : nullptr,
+                              analysis_,
+                              options_.incremental ? &ws->node_frozen : nullptr,
+                              &ws->bounds, &ws->lp_bounds, &bstats);
+    ws->stats.bound_derivations += bstats.derivations;
+    ws->stats.lp_tightenings += bstats.lp_tightenings;
+    ws->stats.intersection_inversions += bstats.intersection_inversions;
     bounds_ptr = &ws->bounds;
   }
 

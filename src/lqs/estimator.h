@@ -71,6 +71,13 @@ struct EstimatorOptions {
   /// bit 12 so ensemble and single-estimator sessions never alias one
   /// monitor cache slot.
   bool ensemble = false;
+  /// Which bounding engine(s) derive the cardinality corridor the online
+  /// clamp uses when `bound_cardinality` is set (src/lqs/bounds.h). The
+  /// default reproduces the paper's Appendix A derivation bit-exactly;
+  /// kIntersect additionally runs the LpBound ℓp-norm engine and
+  /// intersects the intervals per node. Packed as cache-key bits 13-14 so
+  /// engine choices never alias one cached estimator.
+  BoundsEngineKind bounds_engine = BoundsEngineKind::kAppendixA;
   /// Guard (§4.1): minimum observed rows before refinement engages.
   uint64_t refine_min_rows = 30;
 
@@ -95,7 +102,10 @@ struct EstimatorOptions {
   /// The preset options for `index`; aborts on an out-of-range index.
   static EstimatorOptions PresetByIndex(int index);
   /// Parses a canonical preset name; returns false and leaves `*out`
-  /// untouched on an unknown name.
+  /// untouched on an unknown name. A registry name with an `_lp` suffix
+  /// (e.g. "lqs_lp") resolves to the base preset with
+  /// `bounds_engine = kIntersect` — the LpBound-tightened clamp variants
+  /// the ensemble candidate pool draws from.
   static bool PresetFromName(std::string_view name, EstimatorOptions* out);
 
   /// Packs every option field into one integer: two option sets pack
@@ -153,6 +163,13 @@ class ProgressEstimator {
       uint64_t alpha_freezes = 0;
       /// Pipelines whose §4.6 weight was served from the frozen cache.
       uint64_t weight_cache_hits = 0;
+      /// Nodes where the LpBound engine tightened the Appendix A upper
+      /// bound (bounds_engine = kIntersect only).
+      uint64_t lp_tightenings = 0;
+      /// Inverted intersections resolved to the Appendix-A interval
+      /// (bounds_engine = kIntersect only; nonzero indicates an unsound
+      /// engine and is surfaced through MonitorStats).
+      uint64_t intersection_inversions = 0;
     };
     Stats stats;
 
@@ -163,6 +180,9 @@ class ProgressEstimator {
     std::vector<double> alpha;
     std::vector<double> weight;
     CardinalityBounds bounds;
+    /// Second-engine scratch of the bounds pipeline (kIntersect holds the
+    /// LpBound intervals here between the two passes).
+    CardinalityBounds lp_bounds;
     /// Per-call masks, recomputed from each snapshot (out-of-order safe).
     std::vector<uint8_t> node_frozen;        ///< finished && !under_nlj_inner
     std::vector<uint8_t> pipeline_finished;  ///< all member ops finished

@@ -220,6 +220,156 @@ void FillCatalogStatics(const Plan& plan, const Catalog& catalog,
   a->has_catalog_statics = true;
 }
 
+/// Base-table origin of one operator output column, found by walking down
+/// through multiplicity-non-increasing operators only.
+struct DegreeOrigin {
+  const PlanNode* scan = nullptr;  ///< leaf access path reached
+  int column = -1;                 ///< column index in the base table schema
+};
+
+/// Resolves (node, output column) to a base-table column such that within a
+/// single execution of the subtree, no value's multiplicity in the output
+/// column can exceed its multiplicity in the base column — the soundness
+/// condition for capping a join side's degree sequence with the base
+/// column's precomputed norms. Operators that can replicate rows (inner and
+/// outer joins, Concatenation) stop the walk; re-execution under a
+/// Nested Loops inner side is handled separately (the LpBound engine
+/// declines any subtree with a rebind multiplier > 1). Returns false when
+/// no such origin exists.
+bool ResolveDegreeOrigin(const Catalog& catalog, const PlanNode& node,
+                         int column, DegreeOrigin* out) {
+  if (column < 0) return false;
+  switch (node.type) {
+    // Leaf access paths over stored rows: every output row is a distinct
+    // base row, so output degrees are bounded by base-column degrees.
+    case OpType::kTableScan:
+    case OpType::kClusteredIndexScan:
+    case OpType::kClusteredIndexSeek:
+    case OpType::kIndexScan:
+    case OpType::kColumnstoreScan:
+      out->scan = &node;
+      out->column = column;
+      return true;
+    case OpType::kIndexSeek: {
+      // Output schema is (index key, rid); only the key column maps back.
+      if (column != 0) return false;
+      const Table* t = catalog.GetTable(node.table_name);
+      if (t == nullptr) return false;
+      const OrderedIndex* idx = t->GetIndex(node.index_name);
+      if (idx == nullptr) return false;
+      out->scan = &node;
+      out->column = idx->key_column();
+      return true;
+    }
+    // kRidLookup fetches one base row per outer rid, and duplicate rids
+    // replicate rows — not multiplicity-pure, so it stops the walk.
+
+    // Row-preserving / row-filtering pass-throughs: same column index on
+    // the only child, output is a (reordered) subset of the input.
+    case OpType::kFilter:
+    case OpType::kTop:
+    case OpType::kSegment:
+    case OpType::kBitmapCreate:
+    case OpType::kSort:
+    case OpType::kTopNSort:
+    case OpType::kDistinctSort:
+    case OpType::kEagerSpool:
+    case OpType::kLazySpool:
+    case OpType::kGatherStreams:
+    case OpType::kRepartitionStreams:
+    case OpType::kDistributeStreams:
+      if (node.children.empty()) return false;
+      return ResolveDegreeOrigin(catalog, *node.child(0), column, out);
+    case OpType::kComputeScalar: {
+      // Pass-through columns only; computed expressions have no base norms.
+      if (node.children.empty()) return false;
+      const int child_arity =
+          static_cast<int>(node.child(0)->output_schema.num_columns());
+      if (column >= child_arity) return false;
+      return ResolveDegreeOrigin(catalog, *node.child(0), column, out);
+    }
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin:
+    case OpType::kNestedLoopJoin:
+      // Semi/anti joins emit each preserved-side row at most once, so the
+      // walk continues down that side; inner and outer joins replicate
+      // matching rows and stop it.
+      switch (node.join_kind) {
+        case JoinKind::kLeftSemi:
+        case JoinKind::kLeftAnti:
+          return ResolveDegreeOrigin(catalog, *node.child(0), column, out);
+        case JoinKind::kRightSemi:
+          return ResolveDegreeOrigin(catalog, *node.child(1), column, out);
+        default:
+          return false;
+      }
+    case OpType::kHashAggregate:
+    case OpType::kStreamAggregate:
+      // Group columns pass through with one output row per group: a value's
+      // output degree (groups containing it) never exceeds its input degree
+      // (rows containing it). Aggregate outputs are computed, not resolved.
+      if (node.children.empty()) return false;
+      if (column < static_cast<int>(node.group_columns.size())) {
+        return ResolveDegreeOrigin(catalog, *node.child(0),
+                                   node.group_columns[column], out);
+      }
+      return false;
+    default:
+      // kConstantScan, kConcatenation (can merge duplicates from several
+      // children), kRidLookup, and anything added later: no sound origin.
+      return false;
+  }
+}
+
+/// Hoists the LpBound join-side degree caps: for every equijoin node and
+/// each input side, the min over that side's resolvable key columns of the
+/// base column's exact ℓ∞ / ℓ2 norms (see NodeStatics in pipeline.h).
+void FillDegreeNormStatics(const Plan& plan, const Catalog& catalog,
+                           PlanAnalysis* a) {
+  for (int id = 0; id < plan.size(); ++id) {
+    const PlanNode& node = plan.node(id);
+    if (!IsJoin(node.type)) continue;
+    if (node.outer_keys.empty() ||
+        node.outer_keys.size() != node.inner_keys.size()) {
+      continue;  // not an equijoin: no degree caps apply
+    }
+    NodeStatics& s = a->node_statics[id];
+    for (int side = 0; side < 2; ++side) {
+      const std::vector<int>& keys =
+          side == 0 ? node.outer_keys : node.inner_keys;
+      const PlanNode& child = *node.child(static_cast<size_t>(side));
+      bool valid = false;
+      double linf = std::numeric_limits<double>::infinity();
+      double l2 = std::numeric_limits<double>::infinity();
+      for (int key : keys) {
+        DegreeOrigin origin;
+        if (!ResolveDegreeOrigin(catalog, child, key, &origin)) continue;
+        const TableStatistics* stats =
+            catalog.GetStatistics(origin.scan->table_name);
+        if (stats == nullptr) continue;
+        const Table* t = catalog.GetTable(origin.scan->table_name);
+        if (t == nullptr || origin.column < 0 ||
+            origin.column >=
+                static_cast<int>(t->schema().num_columns())) {
+          continue;
+        }
+        const DegreeNorms& norms = stats->degree_norms(origin.column);
+        if (!norms.valid) continue;
+        // Any single resolved key column caps the composite-key degrees,
+        // so the min over resolved columns is sound even when some key
+        // columns fail to resolve.
+        valid = true;
+        linf = std::min(linf, norms.linf);
+        l2 = std::min(l2, norms.l2);
+      }
+      s.lp_side_valid[side] = valid;
+      s.lp_linf[side] = linf;
+      s.lp_l2[side] = l2;
+    }
+  }
+  a->has_degree_norms = true;
+}
+
 }  // namespace
 
 PlanAnalysis AnalyzePlan(const Plan& plan) {
@@ -248,7 +398,10 @@ PlanAnalysis AnalyzePlan(const Plan& plan) {
 
 PlanAnalysis AnalyzePlan(const Plan& plan, const Catalog* catalog) {
   PlanAnalysis analysis = AnalyzePlan(plan);
-  if (catalog != nullptr) FillCatalogStatics(plan, *catalog, &analysis);
+  if (catalog != nullptr) {
+    FillCatalogStatics(plan, *catalog, &analysis);
+    FillDegreeNormStatics(plan, *catalog, &analysis);
+  }
   return analysis;
 }
 

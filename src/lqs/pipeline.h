@@ -45,6 +45,28 @@ struct NodeStatics {
   /// predicate, no bitmap, not on an NL-inner side): its total output per
   /// execution is exactly the table size.
   bool uncorrelated_full_scan = false;
+
+  // --- LpBound degree-norm statics (join nodes only) ---
+  // Hoisted by FillDegreeNormStatics so the LpBound bounding engine's
+  // per-snapshot path reads two doubles per join side instead of chasing
+  // schemas, provenance and string-keyed catalog maps (LQS_NOALLOC /
+  // LQS_DETERMINISTIC discipline).
+  /// Per input side (0 = outer/build, 1 = inner/probe): true when at least
+  /// one equijoin key column on that side resolves through a
+  /// multiplicity-non-increasing operator path to a base-table column with
+  /// exact degree norms, so the ℓ∞/ℓ2 caps below soundly bound the side's
+  /// join-key degree sequence.
+  bool lp_side_valid[2] = {false, false};
+  /// min over the side's resolved key columns of the base column's exact
+  /// max frequency (ℓ∞ of the degree sequence). Using the min is sound for
+  /// composite keys: a composite key's degree never exceeds any single
+  /// component column's degree.
+  double lp_linf[2] = {std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()};
+  /// Same, for the ℓ2 norms (the Cauchy–Schwarz product bound
+  /// ℓ2(outer)·ℓ2(inner) on the number of matching pairs).
+  double lp_l2[2] = {std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::infinity()};
 };
 
 /// Static plan decomposition shared by all estimator features.
@@ -109,6 +131,10 @@ struct PlanAnalysis {
   /// catalog-aware AnalyzePlan overload.
   std::vector<NodeStatics> node_statics;
   bool has_catalog_statics = false;
+  /// True once the LpBound join-side degree-norm statics in node_statics
+  /// have been filled (catalog-aware AnalyzePlan; per-side validity is in
+  /// NodeStatics::lp_side_valid).
+  bool has_degree_norms = false;
 
   int pipeline_count() const { return static_cast<int>(pipelines.size()); }
 };

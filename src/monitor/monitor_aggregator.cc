@@ -47,6 +47,9 @@ MonitorStats MonitorAggregator::Merge(
     merged.ensembles_cached += s.ensembles_cached;
     merged.ensemble_candidate_estimates += s.ensemble_candidate_estimates;
     merged.ensemble_switches += s.ensemble_switches;
+    merged.lp_bounds_sessions += s.lp_bounds_sessions;
+    merged.bounds_lp_tightenings += s.bounds_lp_tightenings;
+    merged.bounds_intersection_inversions += s.bounds_intersection_inversions;
     // Per-candidate vectors align across shards (every shard's ensembles
     // run the same default candidate pool); a shard with no ensemble
     // sessions contributes empty vectors.

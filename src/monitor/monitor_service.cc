@@ -278,6 +278,20 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
     transport.delta_resyncs += cs.delta_resyncs;
     transport.request_id_mismatches += cs.request_id_mismatches;
   }
+  // Bounds-engine aggregation: sum the per-session estimator workspace
+  // counters (only non-default engines ever make them nonzero). Same
+  // post-barrier quiescence rule as the transport loop above.
+  size_t lp_sessions = 0;
+  uint64_t lp_tightenings = 0;
+  uint64_t lp_inversions = 0;
+  for (const Session& s : sessions_) {
+    if (s.estimator == nullptr) continue;
+    if (s.estimator->options().bounds_engine != BoundsEngineKind::kAppendixA) {
+      ++lp_sessions;
+    }
+    lp_tightenings += s.workspace.stats.lp_tightenings;
+    lp_inversions += s.workspace.stats.intersection_inversions;
+  }
   // Ensemble aggregation follows the same post-barrier quiescence rule:
   // per-session ensemble workspaces are only touched by their one pool
   // worker between fan-out and barrier.
@@ -321,6 +335,9 @@ std::vector<SessionStatus> MonitorService::Tick(double now_ms) {
   ensemble_candidate_names_ = std::move(ens_names);
   ensemble_candidate_latency_ms_ = std::move(ens_latency);
   ensemble_selected_ticks_ = std::move(ens_selected);
+  lp_bounds_sessions_ = lp_sessions;
+  bounds_lp_tightenings_ = lp_tightenings;
+  bounds_intersection_inversions_ = lp_inversions;
   wall_ms_ += tick_wall_ms;
   tick_latencies_ms_.Add(tick_wall_ms);
   ++ticks_;
@@ -476,6 +493,9 @@ MonitorStats MonitorService::stats() const {
   stats.ensemble_candidate_names = ensemble_candidate_names_;
   stats.ensemble_candidate_latency_ms = ensemble_candidate_latency_ms_;
   stats.ensemble_selected_ticks = ensemble_selected_ticks_;
+  stats.lp_bounds_sessions = lp_bounds_sessions_;
+  stats.bounds_lp_tightenings = bounds_lp_tightenings_;
+  stats.bounds_intersection_inversions = bounds_intersection_inversions_;
   return stats;
 }
 

@@ -182,6 +182,18 @@ struct MonitorStats {
   std::vector<double> ensemble_candidate_latency_ms;
   /// Ticks each candidate spent as some session's selected winner.
   std::vector<uint64_t> ensemble_selected_ticks;
+
+  // --- Bounds-engine aggregates (single-estimator sessions whose
+  //     EstimatorOptions::bounds_engine is not the Appendix-A default) ---
+  /// Sessions running a non-default bounding engine.
+  size_t lp_bounds_sessions = 0;
+  /// Nodes where the LpBound engine tightened the Appendix A upper bound,
+  /// summed over the sessions' workspace counters.
+  uint64_t bounds_lp_tightenings = 0;
+  /// Inverted engine intersections resolved to the Appendix-A interval;
+  /// nonzero means an engine produced an unsound interval somewhere — a
+  /// red flag worth alerting on, hence surfaced here.
+  uint64_t bounds_intersection_inversions = 0;
 };
 
 /// Owns many concurrently-monitored query sessions and replays their DMV
@@ -429,6 +441,11 @@ class MonitorService {
   std::vector<double> ensemble_candidate_latency_ms_
       LQS_GUARDED_BY(stats_mu_);
   std::vector<uint64_t> ensemble_selected_ticks_ LQS_GUARDED_BY(stats_mu_);
+  /// Bounds-engine aggregates, recomputed from the per-session estimator
+  /// workspaces under the same post-barrier quiescence rule.
+  size_t lp_bounds_sessions_ LQS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t bounds_lp_tightenings_ LQS_GUARDED_BY(stats_mu_) = 0;
+  uint64_t bounds_intersection_inversions_ LQS_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace lqs

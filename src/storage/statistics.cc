@@ -119,6 +119,34 @@ double Histogram::EstimateSelectivity(CompareOp op,
   return 1.0;  // literal above max
 }
 
+DegreeNorms ComputeDegreeNorms(const Table& table, int column) {
+  DegreeNorms norms;
+  norms.valid = true;
+  if (table.num_rows() == 0) return norms;  // all-zero norms: empty column
+  std::vector<Value> values;
+  values.reserve(table.num_rows());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    values.push_back(table.row(r)[column]);
+  }
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  double sum_sq = 0;
+  double run = 1;
+  for (size_t i = 1; i <= values.size(); ++i) {
+    if (i < values.size() && values[i] == values[i - 1]) {
+      run += 1;
+      continue;
+    }
+    sum_sq += run * run;
+    norms.linf = std::max(norms.linf, run);
+    norms.distinct += 1;
+    run = 1;
+  }
+  norms.l1 = static_cast<double>(table.num_rows());
+  norms.l2 = std::sqrt(sum_sq);
+  return norms;
+}
+
 TableStatistics::TableStatistics(const Table& table, int max_buckets,
                                  double sample_rate, uint64_t seed)
     : table_rows_(static_cast<double>(table.num_rows())) {
@@ -127,9 +155,13 @@ TableStatistics::TableStatistics(const Table& table, int max_buckets,
   // cascade through every join estimate above it).
   if (table.num_rows() < 2000) sample_rate = 1.0;
   histograms_.reserve(table.schema().num_columns());
+  degree_norms_.reserve(table.schema().num_columns());
   for (size_t c = 0; c < table.schema().num_columns(); ++c) {
     histograms_.push_back(Histogram::Build(table, static_cast<int>(c),
                                            max_buckets, sample_rate, seed));
+    // Norms are exact even when the histogram is sampled: bounds must be
+    // sound while estimates are allowed (designed!) to be wrong.
+    degree_norms_.push_back(ComputeDegreeNorms(table, static_cast<int>(c)));
   }
 }
 

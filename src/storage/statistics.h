@@ -57,18 +57,43 @@ class Histogram {
   std::vector<Bucket> buckets_;
 };
 
-/// Per-table statistics: one histogram per column.
+/// Exact ℓp-norms of one column's degree sequence — the multiset of
+/// per-value frequencies {f_v}. These are the precomputed statistics the
+/// LpBound bounding engine (arXiv:2502.05912) turns into guaranteed join
+/// upper bounds: |A ⋈ B| <= min(ℓ∞(A)·|B|, ℓ∞(B)·|A|, ℓ2(A)·ℓ2(B)).
+///
+/// Unlike the histograms above — deliberately coarse and sampled, because
+/// the paper's techniques exist to survive estimation error — the norms are
+/// computed EXACTLY over the full column regardless of sample_rate. A
+/// pessimistic bound is only a bound if its inputs are sound; an exact
+/// full-column pass at catalog-build time is exactly the cheap offline
+/// investment LpBound prescribes.
+struct DegreeNorms {
+  double l1 = 0;        ///< Σ f_v = row count of the table
+  double l2 = 0;        ///< sqrt(Σ f_v²), the Cauchy–Schwarz norm
+  double linf = 0;      ///< max_v f_v, the worst-case join fan-out
+  double distinct = 0;  ///< ℓ0: exact number of distinct values
+  bool valid = false;   ///< set once computed (empty columns stay all-zero)
+};
+
+/// Computes exact degree-sequence norms of one column by a full sort+scan.
+DegreeNorms ComputeDegreeNorms(const Table& table, int column);
+
+/// Per-table statistics: one histogram per column, plus exact degree norms.
 class TableStatistics {
  public:
   TableStatistics(const Table& table, int max_buckets, double sample_rate,
                   uint64_t seed);
 
   const Histogram& column(int i) const { return *histograms_[i]; }
+  /// Exact degree-sequence norms of column `i` (see DegreeNorms).
+  const DegreeNorms& degree_norms(int i) const { return degree_norms_[i]; }
   double table_rows() const { return table_rows_; }
 
  private:
   double table_rows_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<DegreeNorms> degree_norms_;
 };
 
 }  // namespace lqs

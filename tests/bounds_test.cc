@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include "gtest/gtest.h"
 
@@ -225,6 +226,173 @@ TEST_F(BoundsTest, EndOfStreamBoundsCollapseToTrueCardinality) {
     EXPECT_DOUBLE_EQ(b.upper[i], k) << "node " << i;
     EXPECT_DOUBLE_EQ(b.Clamp(i, 0.0), k) << "node " << i;
     EXPECT_DOUBLE_EQ(b.Clamp(i, 1e12), k) << "node " << i;
+  }
+}
+
+// ---- Clamp hardening: NaN estimates and inverted ranges ----
+
+TEST(CardinalityBoundsClampTest, NanEstimateClampsToLowerBound) {
+  CardinalityBounds b;
+  b.lower = {10.0};
+  b.upper = {100.0};
+  // std::clamp propagates NaN; the bounds corridor must not. The observed
+  // lower bound is the only trustworthy value a poisoned estimate leaves.
+  const double c = b.Clamp(0, std::nan(""));
+  EXPECT_FALSE(std::isnan(c));
+  EXPECT_DOUBLE_EQ(c, 10.0);
+}
+
+TEST(CardinalityBoundsClampTest, InvertedRangeCollapsesToLowerBound) {
+  CardinalityBounds b;
+  b.lower = {50.0};
+  b.upper = {20.0};  // unsound-engine symptom; std::clamp would be UB
+  for (double probe : {0.0, 30.0, 1e9, std::nan("")}) {
+    const double c = b.Clamp(0, probe);
+    EXPECT_DOUBLE_EQ(c, 50.0) << "probe " << probe;
+  }
+}
+
+TEST(CardinalityBoundsClampTest, InfiniteEstimateClampsToUpperBound) {
+  CardinalityBounds b;
+  b.lower = {10.0};
+  b.upper = {100.0};
+  EXPECT_DOUBLE_EQ(b.Clamp(0, std::numeric_limits<double>::infinity()),
+                   100.0);
+  EXPECT_DOUBLE_EQ(b.Clamp(0, -std::numeric_limits<double>::infinity()),
+                   10.0);
+}
+
+// ---- LpBound engine (ℓp-norm pessimistic upper bounds) ----
+
+class LpBoundsTest : public BoundsTest {
+ protected:
+  // t_small(200: a unique) ⋈ t_big(5000: fk = i % 200) on (a, fk) — the
+  // LpBound showcase: node 0 = join, 1 = t_small scan, 2 = t_big scan.
+  Plan KeyForeignKeyJoin() {
+    return MustFinalize(HashJoin(JoinKind::kInner, Scan("t_small"),
+                                 Scan("t_big"), {0}, {1}),
+                        *catalog_);
+  }
+
+  CardinalityBounds LpBounds(const Plan& plan, const ProfileSnapshot& snap) {
+    const PlanAnalysis analysis = AnalyzePlan(plan, catalog_.get());
+    CardinalityBounds out;
+    ComputeLpBoundsInto(plan, snap, analysis, nullptr, &out);
+    return out;
+  }
+};
+
+TEST_F(LpBoundsTest, KeyJoinUpperBoundIsDegreeCapNotQuadratic) {
+  Plan plan = KeyForeignKeyJoin();
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  CardinalityBounds lp = LpBounds(plan, snap);
+  // ℓ∞(t_small.a) = 1 (unique key): every t_big row matches at most one
+  // t_small row, so UB = 5000 — exact, before a single row has flowed.
+  // The Cauchy–Schwarz cap agrees: ℓ2(a)·ℓ2(fk) = √200·√125000 = 5000.
+  EXPECT_DOUBLE_EQ(lp.upper[0], 5000.0);
+  EXPECT_DOUBLE_EQ(lp.lower[0], 0.0);
+  // Appendix A at the same snapshot only has the quadratic product cap.
+  CardinalityBounds a = ComputeBounds(plan, *catalog_, snap);
+  EXPECT_GT(a.upper[0], 1e6);
+}
+
+TEST_F(LpBoundsTest, IntersectTakesTheTighterEngine) {
+  Plan plan = KeyForeignKeyJoin();
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  const PlanAnalysis analysis = AnalyzePlan(plan, catalog_.get());
+  CardinalityBounds a, x, scratch;
+  BoundsEngineStats stats;
+  ComputeBoundsPipelineInto(BoundsEngineKind::kAppendixA, plan, *catalog_,
+                            snap, nullptr, analysis, nullptr, &a, &scratch,
+                            nullptr);
+  ComputeBoundsPipelineInto(BoundsEngineKind::kIntersect, plan, *catalog_,
+                            snap, nullptr, analysis, nullptr, &x, &scratch,
+                            &stats);
+  // Per-node containment: the intersection can only shrink intervals.
+  for (int i = 0; i < plan.size(); ++i) {
+    EXPECT_GE(x.lower[i], a.lower[i]) << "node " << i;
+    EXPECT_LE(x.upper[i], a.upper[i]) << "node " << i;
+  }
+  EXPECT_DOUBLE_EQ(x.upper[0], 5000.0);
+  EXPECT_GT(stats.lp_tightenings, 0u);
+  EXPECT_EQ(stats.intersection_inversions, 0u);
+}
+
+TEST_F(LpBoundsTest, DeclinesRebindingSubtreesUnderNestedLoops) {
+  // The ℓp caps bound a single execution; a subtree that may re-execute
+  // per outer row must be declined (UB = +inf), not under-bounded.
+  Plan plan = MustFinalize(
+      Nlj(JoinKind::kInner,
+          Filter(Scan("t_small"), ColCmp(1, CompareOp::kLe, 3)),
+          CiSeek("t_big", OuterCol(0), OuterCol(0)), nullptr,
+          /*buffered=*/true),
+      *catalog_);
+  int seek_id = -1;
+  plan.root->Visit([&](const PlanNode& n) {
+    if (IsScan(n.type) && n.table_name == "t_big") seek_id = n.id;
+  });
+  ASSERT_GE(seek_id, 0);
+  ProfileSnapshot snap;
+  snap.operators.resize(static_cast<size_t>(plan.size()));
+  CardinalityBounds lp = LpBounds(plan, snap);
+  EXPECT_TRUE(std::isinf(lp.upper[seek_id]));
+}
+
+TEST_F(LpBoundsTest, SemiJoinBoundedByPreservedSide) {
+  Plan plan = MustFinalize(HashJoin(JoinKind::kLeftSemi, Scan("t_small"),
+                                    Scan("t_big"), {0}, {1}),
+                           *catalog_);
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  CardinalityBounds lp = LpBounds(plan, snap);
+  // A semi join emits each preserved-side row at most once.
+  EXPECT_LE(lp.upper[0], 200.0);
+}
+
+TEST_F(LpBoundsTest, FinishedJoinFreezesToObservedCount) {
+  Plan plan = KeyForeignKeyJoin();
+  ProfileSnapshot snap;
+  snap.operators.resize(3);
+  snap.operators[0].row_count = 4321;
+  snap.operators[0].finished = true;
+  snap.operators[1].row_count = 200;
+  snap.operators[1].finished = true;
+  snap.operators[2].row_count = 5000;
+  snap.operators[2].finished = true;
+  CardinalityBounds lp = LpBounds(plan, snap);
+  EXPECT_DOUBLE_EQ(lp.lower[0], 4321.0);
+  EXPECT_DOUBLE_EQ(lp.upper[0], 4321.0);
+}
+
+TEST_F(LpBoundsTest, LpAndIntersectSoundOverLiveJoinQuery) {
+  Plan plan = MustFinalize(
+      HashAgg(HashJoin(JoinKind::kInner, Scan("t_small"), Scan("t_big"), {0},
+                       {1}),
+              {2}, {Count(), Sum(5)}),
+      *catalog_);
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  auto result = MustExecute(plan, catalog_.get(), exec);
+  const auto& fin = result.trace.final_snapshot;
+  const PlanAnalysis analysis = AnalyzePlan(plan, catalog_.get());
+  CardinalityBounds b, scratch;
+  for (BoundsEngineKind kind :
+       {BoundsEngineKind::kLpBound, BoundsEngineKind::kIntersect}) {
+    for (const auto& snap : result.trace.snapshots) {
+      ComputeBoundsPipelineInto(kind, plan, *catalog_, snap, nullptr,
+                                analysis, nullptr, &b, &scratch, nullptr);
+      for (int i = 0; i < plan.size(); ++i) {
+        const double n_true = static_cast<double>(fin.operators[i].row_count);
+        ASSERT_LE(b.lower[i], n_true + 1e-9)
+            << BoundsEngineName(kind) << " node " << i << " at t="
+            << snap.time_ms;
+        ASSERT_GE(b.upper[i], n_true - 1e-9)
+            << BoundsEngineName(kind) << " node " << i << " at t="
+            << snap.time_ms;
+      }
+    }
   }
 }
 

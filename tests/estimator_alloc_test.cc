@@ -211,6 +211,49 @@ TEST_F(EstimatorAllocTest, SteadyStateEstimateIntoAllocatesNothing) {
   }
 }
 
+TEST_F(EstimatorAllocTest, SteadyStateLpBoundEnginesAllocateNothing) {
+  // Bounds-engine pipeline audit: the LpBound engine and the intersecting
+  // dispatcher run per snapshot, so after the sizing call (which also grows
+  // the workspace's second-engine scratch) a steady-state estimate under
+  // bounds_engine = kLpBound / kIntersect must stay heap-free, exactly
+  // like the Appendix-A default. The plan exercises the engine's join
+  // degree caps (equijoin over base-table keys) plus filter/aggregate/sort
+  // pass-through bounds.
+  Plan plan = Annotated(
+      Sort(HashAgg(HashJoin(JoinKind::kInner, Scan("t_small"),
+                            CsScan("t_big"), {0}, {1}),
+                   {2}, {Count()}),
+           {0}));
+  ExecOptions exec;
+  exec.snapshot_interval_ms = 2.0;
+  auto result = MustExecute(plan, catalog_.get(), exec);
+  ASSERT_GT(result.trace.snapshots.size(), 5u);
+
+  for (BoundsEngineKind kind :
+       {BoundsEngineKind::kLpBound, BoundsEngineKind::kIntersect}) {
+    EstimatorOptions options = EstimatorOptions::Lqs();
+    options.bounds_engine = kind;
+    ProgressEstimator estimator(&plan, catalog_.get(), options);
+    ProgressEstimator::Workspace workspace;
+    ProgressReport report;
+    estimator.EstimateInto(result.trace.final_snapshot, &workspace, &report);
+
+    AllocationWindow window;
+    for (const ProfileSnapshot& snap : result.trace.snapshots) {
+      estimator.EstimateInto(snap, &workspace, &report);
+    }
+    estimator.EstimateInto(result.trace.final_snapshot, &workspace, &report);
+    // Runtime side of the static contract (src/lqs/bounds.h): kLpBound
+    // drives the ℓp-norm derivation alone, kIntersect additionally runs
+    // the Appendix-A engine and the per-node interval intersection.
+    // LQS_NOALLOC_PAIRED: ComputeBoundsPipelineInto
+    // LQS_NOALLOC_PAIRED: ComputeLpBoundsInto
+    EXPECT_EQ(window.count(), 0u)
+        << "bounds engine " << BoundsEngineName(kind)
+        << ": steady-state EstimateInto performed heap allocations";
+  }
+}
+
 TEST_F(EstimatorAllocTest, NonIncrementalEstimateIntoAlsoAllocatesNothing) {
   // incremental=false disables the freeze short-circuits and the hoisted
   // catalog statics but must NOT reintroduce per-call allocation: the bench

@@ -14,6 +14,7 @@
 #include "gtest/gtest.h"
 
 #include "exec/executor.h"
+#include "lqs/bounds.h"
 #include "lqs/estimator.h"
 #include "optimizer/annotate.h"
 #include "tests/test_util.h"
@@ -33,11 +34,19 @@ struct Preset {
 
 std::vector<Preset> AllPresets() {
   // Drawn from the shared registry so the coverage here can never drift
-  // from the preset set the estimator actually ships.
+  // from the preset set the estimator actually ships. The `_lp` variants
+  // (bounds_engine = kIntersect) ride the same replay contract: the
+  // LpBound engine and the intersection must be exactly replayable too,
+  // forward and out of order.
   std::vector<Preset> presets;
   for (int i = 0; i < EstimatorOptions::kPresetCount; ++i) {
     presets.push_back(
         {EstimatorOptions::PresetName(i), EstimatorOptions::PresetByIndex(i)});
+    const std::string lp_name =
+        std::string(EstimatorOptions::PresetName(i)) + "_lp";
+    EstimatorOptions lp;
+    EXPECT_TRUE(EstimatorOptions::PresetFromName(lp_name, &lp)) << lp_name;
+    presets.push_back({lp_name, lp});
   }
   return presets;
 }
@@ -199,6 +208,36 @@ TEST_F(EstimatorWorkspaceTest, NonIncrementalModeIsBitIdentical) {
                                ew.workload.name + "/" + q.name +
                                    " incremental on/off snapshot#" +
                                    std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(EstimatorWorkspaceTest, AppendixAEngineIsBitIdenticalToLegacyBounds) {
+  // The refactor seam itself: routing Appendix A through the bounds-engine
+  // pipeline must reproduce the monolithic ComputeBounds exactly — every
+  // node, every snapshot, exact doubles.
+  for (const ExecutedWorkload& ew : GetWorkloads()) {
+    for (size_t qi = 0; qi < ew.workload.queries.size(); ++qi) {
+      const WorkloadQuery& q = ew.workload.queries[qi];
+      const ProfileTrace& trace = ew.runs[qi].trace;
+      const PlanAnalysis analysis =
+          AnalyzePlan(q.plan, ew.workload.catalog.get());
+      CardinalityBounds piped, scratch;
+      for (const ProfileSnapshot& snap : trace.snapshots) {
+        const CardinalityBounds legacy =
+            ComputeBounds(q.plan, *ew.workload.catalog, snap);
+        ComputeBoundsPipelineInto(BoundsEngineKind::kAppendixA, q.plan,
+                                  *ew.workload.catalog, snap, nullptr,
+                                  analysis, nullptr, &piped, &scratch,
+                                  nullptr);
+        ASSERT_EQ(legacy.lower.size(), piped.lower.size());
+        for (int i = 0; i < q.plan.size(); ++i) {
+          EXPECT_EQ(legacy.lower[i], piped.lower[i])
+              << ew.workload.name << "/" << q.name << " node " << i;
+          EXPECT_EQ(legacy.upper[i], piped.upper[i])
+              << ew.workload.name << "/" << q.name << " node " << i;
+        }
       }
     }
   }

@@ -12,6 +12,7 @@
 
 #include "analysis/invariant_checker.h"
 #include "analysis/validator.h"
+#include "lqs/bounds.h"
 #include "lqs/estimator.h"
 #include "lqs/metrics.h"
 #include "tests/test_util.h"
@@ -48,6 +49,12 @@ std::vector<ConfigCase> AllConfigs() {
   no_io.storage_predicate_io = false;
   no_io.batch_mode_segments = false;
   configs.push_back({"no_io_progress", no_io});
+  EstimatorOptions lqs_lp;
+  EXPECT_TRUE(EstimatorOptions::PresetFromName("lqs_lp", &lqs_lp));
+  configs.push_back({"lqs_lp", lqs_lp});
+  EstimatorOptions refined_lp;
+  EXPECT_TRUE(EstimatorOptions::PresetFromName("refined_lp", &refined_lp));
+  configs.push_back({"refined_lp", refined_lp});
   return configs;
 }
 
@@ -167,8 +174,49 @@ TEST_P(EstimatorMatrixTest, MetricsAreBoundedOnEveryQuery) {
   }
 }
 
+/// Bounds-engine pipeline properties over the same shared workload: the
+/// intersected intervals are contained in Appendix A's (lower = max,
+/// upper = min can only shrink) and — the soundness half — never exclude
+/// the true final cardinality at any snapshot.
+class BoundsEnginePropertyTest : public EstimatorMatrixTest {};
+
+TEST_F(BoundsEnginePropertyTest, IntersectContainedInAppendixAAndSound) {
+  Shared& shared = GetShared();
+  for (size_t qi = 0; qi < shared.workload.queries.size(); ++qi) {
+    const WorkloadQuery& q = shared.workload.queries[qi];
+    const ExecutionResult& run = shared.runs[qi];
+    const ProfileSnapshot& fin = run.trace.final_snapshot;
+    const PlanAnalysis analysis =
+        AnalyzePlan(q.plan, shared.workload.catalog.get());
+    CardinalityBounds a, x, scratch;
+    BoundsEngineStats stats;
+    for (const auto& snap : run.trace.snapshots) {
+      ComputeBoundsPipelineInto(BoundsEngineKind::kAppendixA, q.plan,
+                                *shared.workload.catalog, snap, nullptr,
+                                analysis, nullptr, &a, &scratch, nullptr);
+      ComputeBoundsPipelineInto(BoundsEngineKind::kIntersect, q.plan,
+                                *shared.workload.catalog, snap, nullptr,
+                                analysis, nullptr, &x, &scratch, &stats);
+      for (int i = 0; i < q.plan.size(); ++i) {
+        const double n_true = static_cast<double>(fin.operators[i].row_count);
+        // Containment: intersected ⊆ Appendix A.
+        ASSERT_GE(x.lower[i], a.lower[i]) << q.name << " node " << i;
+        ASSERT_LE(x.upper[i], a.upper[i]) << q.name << " node " << i;
+        ASSERT_LE(x.lower[i], x.upper[i]) << q.name << " node " << i;
+        // Soundness: the truth never falls outside the tightened corridor.
+        ASSERT_LE(x.lower[i], n_true + 1e-9)
+            << q.name << " node " << i << " at t=" << snap.time_ms;
+        ASSERT_GE(x.upper[i], n_true - 1e-9)
+            << q.name << " node " << i << " at t=" << snap.time_ms;
+      }
+    }
+    // An inversion would mean one engine produced an unsound interval.
+    ASSERT_EQ(stats.intersection_inversions, 0u) << q.name;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllConfigs, EstimatorMatrixTest, ::testing::Range(0, 9),
+    AllConfigs, EstimatorMatrixTest, ::testing::Range(0, 11),
     [](const ::testing::TestParamInfo<int>& info) {
       return std::string(AllConfigs()[static_cast<size_t>(info.param)].name);
     });

@@ -191,6 +191,50 @@ TEST(TableStatisticsTest, SmallTablesGetFullscanStats) {
   EXPECT_NEAR(stats.column(0).EstimateDistinct(), 25, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Degree-sequence norms (LpBound inputs)
+// ---------------------------------------------------------------------------
+
+TEST(DegreeNormsTest, ExactNormsOnModularColumn) {
+  // g = i % 7 over 700 rows: 7 values of degree 100 each.
+  auto t = MakeTable(700);
+  DegreeNorms norms = ComputeDegreeNorms(*t, 1);
+  ASSERT_TRUE(norms.valid);
+  EXPECT_DOUBLE_EQ(norms.l1, 700.0);
+  EXPECT_DOUBLE_EQ(norms.l2, std::sqrt(7.0 * 100.0 * 100.0));
+  EXPECT_DOUBLE_EQ(norms.linf, 100.0);
+  EXPECT_DOUBLE_EQ(norms.distinct, 7.0);
+}
+
+TEST(DegreeNormsTest, UniqueColumnHasUnitMaxDegree) {
+  auto t = MakeTable(700);
+  DegreeNorms norms = ComputeDegreeNorms(*t, 0);
+  ASSERT_TRUE(norms.valid);
+  EXPECT_DOUBLE_EQ(norms.linf, 1.0);
+  EXPECT_DOUBLE_EQ(norms.l2, std::sqrt(700.0));
+  EXPECT_DOUBLE_EQ(norms.distinct, 700.0);
+}
+
+TEST(DegreeNormsTest, EmptyTableIsValidAllZero) {
+  Table t("e", Schema({{"k", DataType::kInt64}}));
+  DegreeNorms norms = ComputeDegreeNorms(t, 0);
+  ASSERT_TRUE(norms.valid);
+  EXPECT_DOUBLE_EQ(norms.l1, 0.0);
+  EXPECT_DOUBLE_EQ(norms.l2, 0.0);
+  EXPECT_DOUBLE_EQ(norms.linf, 0.0);
+}
+
+TEST(DegreeNormsTest, StatisticsBuildExactEvenWhenSampled) {
+  // Histograms degrade under sampling; the ℓp norms must not — they are the
+  // soundness-critical input to the LpBound engine.
+  auto t = MakeTable(2000);
+  TableStatistics stats(*t, 32, /*sample_rate=*/0.05, 11);
+  const DegreeNorms& g = stats.degree_norms(1);
+  ASSERT_TRUE(g.valid);
+  EXPECT_DOUBLE_EQ(g.linf, std::ceil(2000.0 / 7.0));
+  EXPECT_DOUBLE_EQ(g.l1, 2000.0);
+}
+
 TEST(CatalogTest, TableLifecycle) {
   Catalog catalog;
   ASSERT_OK(catalog.AddTable(MakeTable(100)));

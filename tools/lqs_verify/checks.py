@@ -197,6 +197,11 @@ _PAIRED = re.compile(r"LQS_NOALLOC_PAIRED:\s*([A-Za-z_][\w:]*)")
 REQUIRED_NOALLOC: Tuple[str, ...] = (
     "ProgressEstimator::EstimateInto",
     "EnsembleEstimator::EstimateInto",
+    # The bounds-engine pipeline (PR 10): both the dispatcher and the
+    # LpBound engine sit on the per-snapshot hot path of every bounding
+    # estimator configuration.
+    "ComputeBoundsPipelineInto",
+    "ComputeLpBoundsInto",
 )
 
 
@@ -814,6 +819,10 @@ REQUIRED_DETERMINISTIC: Tuple[str, ...] = (
     "MakeSnapshotDelta",
     "ApplySnapshotDelta",
     "MonitorService::ComputeStatus",
+    # The bounds-engine pipeline (PR 10): bound intervals feed the clamp,
+    # so replay-order-independent reports require deterministic engines.
+    "ComputeBoundsPipelineInto",
+    "ComputeLpBoundsInto",
 )
 
 

@@ -421,6 +421,7 @@ class DeterminismRequiredRootsTest(unittest.TestCase):
 
     HEADERS = [
         os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
+        os.path.join(REPO_ROOT, "src", "lqs", "bounds.h"),
         os.path.join(REPO_ROOT, "src", "ensemble", "ensemble.h"),
         os.path.join(REPO_ROOT, "src", "remote", "wire.h"),
         os.path.join(REPO_ROOT, "src", "monitor", "monitor_service.h"),
@@ -497,6 +498,7 @@ class NoallocRequiredRootsTest(unittest.TestCase):
 
     HEADERS = [
         os.path.join(REPO_ROOT, "src", "lqs", "estimator.h"),
+        os.path.join(REPO_ROOT, "src", "lqs", "bounds.h"),
         os.path.join(REPO_ROOT, "src", "ensemble", "ensemble.h"),
     ]
 
